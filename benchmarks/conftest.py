@@ -1,0 +1,14 @@
+"""Make the benchmark helpers importable and print a scale banner."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import BENCH_SCALE  # noqa: E402
+
+
+def pytest_report_header(config):
+    return f"MMKGR benchmark harness (REPRO_BENCH_SCALE={BENCH_SCALE})"

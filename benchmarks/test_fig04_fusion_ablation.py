@@ -1,0 +1,24 @@
+"""Fig. 4: ablation on the components of the unified gate-attention network."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, print_metric_table, run_once
+
+from repro.core.results import PAPER_FIG4_HITS1
+
+
+def test_fig04_fusion_component_ablation(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.fig4_fusion_ablation(WN9)
+
+    results = run_once(benchmark, run)
+    reference = {name: [value] for name, value in PAPER_FIG4_HITS1[WN9].items()}
+    print_metric_table(
+        f"Fig. 4 — fusion ablation (FGKGR / FAKGR / MMKGR) on {WN9}",
+        results,
+        reference=reference,
+        metrics=("hits@1", "hits@5", "hits@10", "mrr"),
+    )
+    assert set(results) == {"FGKGR", "FAKGR", "MMKGR"}

@@ -1,0 +1,24 @@
+"""Fig. 5: ablation on the components of the 3D reward mechanism."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, print_metric_table, run_once
+
+from repro.core.results import PAPER_FIG5_HITS1
+
+
+def test_fig05_reward_component_ablation(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.fig5_reward_ablation(WN9)
+
+    results = run_once(benchmark, run)
+    reference = {name: [value] for name, value in PAPER_FIG5_HITS1[WN9].items()}
+    print_metric_table(
+        f"Fig. 5 — 3D-reward ablation (DEKGR / DSKGR / DVKGR / MMKGR) on {WN9}",
+        results,
+        reference=reference,
+        metrics=("hits@1", "hits@5", "hits@10", "mrr"),
+    )
+    assert set(results) == {"DEKGR", "DSKGR", "DVKGR", "MMKGR"}

@@ -1,0 +1,40 @@
+"""Figs. 6-7: proportion of test triples successfully inferred per path length."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.core.results import PAPER_FIG6_7
+from repro.utils.tables import format_table
+
+
+def test_fig06_07_hop_distribution(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.fig6_7_hop_distribution(WN9)
+
+    results = run_once(benchmark, run)
+    rows = []
+    for model, distribution in results.items():
+        paper = PAPER_FIG6_7[WN9].get(model, {})
+        rows.append(
+            [
+                model,
+                distribution.get("1_hops", 0.0),
+                distribution.get("2_hops", 0.0),
+                paper.get("2_hops"),
+                distribution.get("3_hops", 0.0),
+                paper.get("3_hops"),
+                distribution.get("success_count", 0.0),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["model", "1 hop", "2 hops", "2 hops (paper)", "3 hops", "3 hops (paper)", "#solved"],
+            rows,
+            title=f"Figs. 6-7 — hop distribution of solved test queries ({WN9})",
+        )
+    )
+    assert set(results) == {"MMKGR", "DVKGR", "OSKGR"}

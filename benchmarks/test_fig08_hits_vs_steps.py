@@ -1,0 +1,34 @@
+"""Fig. 8: Hits@1 of RL-based models as the maximum reasoning step T grows."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.utils.tables import format_table
+
+STEPS = (2, 3)
+MODELS = ("MINERVA", "MMKGR")
+
+
+def test_fig08_hits_vs_reasoning_step(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.fig8_hits_vs_steps(WN9, steps=STEPS, models=MODELS)
+
+    curves = run_once(benchmark, run)
+    rows = []
+    for model, curve in curves.items():
+        rows.append([model, *[curve.get(step, float("nan")) for step in STEPS]])
+    print()
+    print(
+        format_table(
+            ["model", *[f"T={step}" for step in STEPS]],
+            rows,
+            title=f"Fig. 8 — Hits@1 vs maximum reasoning step on {WN9} "
+            "(paper: all models peak around T=3-4, MMKGR on top)",
+        )
+    )
+    assert set(curves) == set(MODELS)
+    for curve in curves.values():
+        assert set(curve) == set(STEPS)

@@ -1,0 +1,35 @@
+"""Fig. 9: convergence behaviour of the reward variants."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.utils.tables import format_table
+
+VARIANTS = ("DEKGR", "DSKGR", "DVKGR", "MMKGR", "ZOKGR")
+
+
+def test_fig09_convergence_of_reward_variants(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        from repro.core.ablations import AblationName
+
+        return runner.fig9_convergence(WN9, variants=[AblationName(v) for v in VARIANTS])
+
+    curves = run_once(benchmark, run)
+    rows = []
+    for variant, curve in curves.items():
+        rows.append([variant, *[round(value, 3) for value in curve]])
+    epochs = max(len(curve) for curve in curves.values())
+    print()
+    print(
+        format_table(
+            ["variant", *[f"epoch {i + 1}" for i in range(epochs)]],
+            rows,
+            title=f"Fig. 9 — per-epoch training success rate per reward variant ({WN9}); "
+            "paper: ZOKGR fails to converge, 3D-reward variants converge",
+        )
+    )
+    assert set(curves) == set(VARIANTS)
+    assert all(len(curve) >= 1 for curve in curves.values())

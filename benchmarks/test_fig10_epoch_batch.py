@@ -1,0 +1,32 @@
+"""Fig. 10: Hits@1 of MMKGR for different epoch counts E and batch sizes N."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.utils.tables import format_table
+
+EPOCHS = (1, 3)
+BATCH_SIZES = (32, 128)
+
+
+def test_fig10_epoch_and_batch_size_sweep(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.fig10_epoch_batch_sweep(WN9, epochs=EPOCHS, batch_sizes=BATCH_SIZES)
+
+    results = run_once(benchmark, run)
+    rows = []
+    for (epochs, batch_size), hits in sorted(results.items()):
+        rows.append([f"E={epochs}", f"N={batch_size}", hits])
+    print()
+    print(
+        format_table(
+            ["epochs", "batch size", "hits@1"],
+            rows,
+            title=f"Fig. 10 — Hits@1 vs training epochs and batch size ({WN9}); "
+            "paper: performance rises then falls, optimum around E=50, N=128",
+        )
+    )
+    assert len(results) == len(EPOCHS) * len(BATCH_SIZES)

@@ -1,0 +1,33 @@
+"""Fig. 11: effect of the diversity-reward Gaussian bandwidth u."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.core.results import PAPER_FIG11_OPTIMAL_BANDWIDTH
+from repro.utils.tables import format_table
+
+BANDWIDTHS = (1.0, 3.0, 6.0)
+
+
+def test_fig11_bandwidth_sweep(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.fig11_bandwidth_sweep(WN9, bandwidths=BANDWIDTHS)
+
+    results = run_once(benchmark, run)
+    rows = [
+        [f"u={bandwidth}", metrics["hits@1"], metrics["mrr"]]
+        for bandwidth, metrics in sorted(results.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["bandwidth", "hits@1", "mrr"],
+            rows,
+            title=f"Fig. 11 — performance vs diversity bandwidth u ({WN9}); "
+            f"paper: optimum at u={PAPER_FIG11_OPTIMAL_BANDWIDTH}, flat beyond",
+        )
+    )
+    assert set(results) == set(BANDWIDTHS)

@@ -1,0 +1,33 @@
+"""Fig. 12: effect of the reward-weight combination (λ1, λ2, λ3)."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.core.results import PAPER_FIG12_OPTIMAL_LAMBDAS
+from repro.utils.tables import format_table
+
+COMBINATIONS = ((0.1, 0.8, 0.1), (0.3, 0.4, 0.3))
+
+
+def test_fig12_lambda_combination_sweep(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.fig12_lambda_sweep(WN9, combinations=COMBINATIONS)
+
+    results = run_once(benchmark, run)
+    rows = [
+        [f"λ=({l1}, {l2}, {l3})", hits]
+        for (l1, l2, l3), hits in sorted(results.items(), key=lambda kv: -kv[1])
+    ]
+    print()
+    print(
+        format_table(
+            ["lambda combination", "hits@1"],
+            rows,
+            title=f"Fig. 12 — Hits@1 vs reward weights ({WN9}); "
+            f"paper: optimum at λ={PAPER_FIG12_OPTIMAL_LAMBDAS}",
+        )
+    )
+    assert set(results) == set(COMBINATIONS)

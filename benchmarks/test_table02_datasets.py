@@ -1,0 +1,29 @@
+"""Table II: statistics of the experimental datasets."""
+
+from __future__ import annotations
+
+from common import WN9, FB, make_runner, run_once
+
+from repro.kg.datasets import paper_table2_reference
+from repro.utils.tables import format_table
+
+
+def test_table02_dataset_statistics(benchmark):
+    runner = make_runner((WN9, FB))
+
+    def build():
+        return runner.table2_statistics()
+
+    rows = run_once(benchmark, build)
+    all_rows = rows + paper_table2_reference()
+    print()
+    print(
+        format_table(
+            ["dataset", "#Ent", "#Rel", "#Train", "#Valid", "#Test"],
+            all_rows,
+            title="Table II — dataset statistics (synthetic analogues vs paper)",
+        )
+    )
+    assert len(rows) == 2
+    for row in rows:
+        assert row[1] > 0 and row[3] > 0

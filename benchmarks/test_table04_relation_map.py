@@ -1,0 +1,40 @@
+"""Table IV: relation link prediction MAP."""
+
+from __future__ import annotations
+
+from common import WN9, bench_preset, make_runner, run_once
+
+from repro.core.config import EvaluationConfig
+from repro.core.results import PAPER_TABLE4_OVERALL
+from repro.utils.tables import format_table
+
+MODELS = ("MTRL", "MINERVA", "RLH")
+
+
+def test_table04_relation_map(benchmark):
+    runner = make_runner((WN9,))
+    # Relation MAP runs one beam search per candidate relation per query, so
+    # the query budget is reduced further for the benchmark.
+    runner.preset = runner.preset.with_overrides(
+        evaluation=EvaluationConfig(beam_width=4, max_queries=8)
+    )
+
+    def run():
+        return runner.table4_relation_map(WN9, baselines=MODELS)
+
+    results = run_once(benchmark, run)
+    rows = []
+    for model, metrics in results.items():
+        rows.append([model, metrics.get("overall", float("nan"))])
+        if model in PAPER_TABLE4_OVERALL[WN9]:
+            rows.append([f"{model} (paper, %)", PAPER_TABLE4_OVERALL[WN9][model]])
+    print()
+    print(
+        format_table(
+            ["model", "overall MAP"],
+            rows,
+            title=f"Table IV — relation link prediction MAP on {WN9}",
+        )
+    )
+    assert "MMKGR" in results
+    assert 0.0 <= results["MMKGR"]["overall"] <= 1.0

@@ -1,0 +1,28 @@
+"""Table V: effect of different multi-modal auxiliary features (OSKGR/STKGR/SIKGR/MMKGR)."""
+
+from __future__ import annotations
+
+import pytest
+from common import WN9, FB, make_runner, noise_margin, print_metric_table, run_once
+
+from repro.core.results import PAPER_TABLE5
+
+
+@pytest.mark.parametrize("dataset", [WN9, FB])
+def test_table05_modality_ablation(benchmark, dataset):
+    runner = make_runner((dataset,))
+
+    def run():
+        return runner.table5_modality_ablation(dataset)
+
+    results = run_once(benchmark, run)
+    print_metric_table(
+        f"Table V — modality ablation on {dataset}",
+        results,
+        reference=PAPER_TABLE5[dataset],
+    )
+    assert set(results) == {"OSKGR", "STKGR", "SIKGR", "MMKGR"}
+    # Shape check: the full multi-modal model should not lose to structure-only
+    # by more than the two-query noise margin of the default bench scale plus
+    # the fixed 0.05 slack the original check used; see EXPERIMENTS.md.
+    assert results["MMKGR"]["mrr"] >= results["OSKGR"]["mrr"] - 0.05 - noise_margin("mrr")

@@ -1,0 +1,34 @@
+"""Table VI: Hits@1 as the maximum reasoning step T and distance threshold k vary."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.core.results import PAPER_TABLE6
+from repro.utils.tables import format_table
+
+STEPS = (2, 3)
+THRESHOLDS = (2, 3)
+
+
+def test_table06_step_threshold_sweep(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.table6_step_threshold_sweep(WN9, steps=STEPS, thresholds=THRESHOLDS)
+
+    results = run_once(benchmark, run)
+    rows = []
+    for (threshold, max_steps), hits in sorted(results.items()):
+        paper = PAPER_TABLE6[WN9].get((threshold, max_steps))
+        rows.append([f"k={threshold}", f"T={max_steps}", hits, paper])
+    print()
+    print(
+        format_table(
+            ["threshold", "max step", "hits@1 (measured)", "hits@1 (paper, %)"],
+            rows,
+            title=f"Table VI — Hits@1 vs reasoning step T and threshold k on {WN9}",
+        )
+    )
+    assert results, "the sweep must produce at least one (k, T) cell"
+    assert all(0.0 <= value <= 1.0 for value in results.values())

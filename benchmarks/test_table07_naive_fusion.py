@@ -1,0 +1,53 @@
+"""Table VII: performance change after bolting naive multi-modal fusion onto baselines."""
+
+from __future__ import annotations
+
+from common import FB, make_runner, run_once
+
+from repro.core.results import PAPER_TABLE7
+from repro.utils.tables import format_table
+
+MODELS = ("MINERVA", "RLH")
+
+
+def test_table07_naive_fusion_hurts_existing_models(benchmark):
+    runner = make_runner((FB,))
+
+    def run():
+        return runner.table7_naive_fusion(FB, models=MODELS)
+
+    results = run_once(benchmark, run)
+    rows = []
+    for model, row in results.items():
+        rows.append(
+            [
+                model,
+                row["base_hits@1"],
+                row["attention_hits@1"],
+                row["attention_change_pct"],
+                PAPER_TABLE7["attention"].get(model),
+                row["concatenation_hits@1"],
+                row["concatenation_change_pct"],
+                PAPER_TABLE7["concatenation"].get(model),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "model",
+                "base hits@1",
+                "attn hits@1",
+                "attn Δ%",
+                "attn Δ% (paper)",
+                "concat hits@1",
+                "concat Δ%",
+                "concat Δ% (paper)",
+            ],
+            rows,
+            title=f"Table VII — naive fusion bolted onto existing multi-hop models ({FB})",
+        )
+    )
+    assert set(results) == set(MODELS)
+    for row in results.values():
+        assert "attention_change_pct" in row and "concatenation_change_pct" in row

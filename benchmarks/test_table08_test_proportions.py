@@ -1,0 +1,40 @@
+"""Table VIII: Hits@1 of MMKGR vs OSKGR on different test-set proportions."""
+
+from __future__ import annotations
+
+from common import WN9, make_runner, run_once
+
+from repro.core.results import PAPER_TABLE8
+from repro.utils.tables import format_table
+
+PROPORTIONS = (0.2, 0.6, 1.0)
+
+
+def test_table08_test_proportion_sweep(benchmark):
+    runner = make_runner((WN9,))
+
+    def run():
+        return runner.table8_test_proportions(WN9, proportions=PROPORTIONS)
+
+    results = run_once(benchmark, run)
+    rows = []
+    for proportion, metrics in sorted(results.items()):
+        paper = PAPER_TABLE8[WN9].get(proportion, (None, None))
+        rows.append(
+            [
+                f"{int(proportion * 100)}%",
+                metrics["MMKGR"],
+                paper[0],
+                metrics["OSKGR"],
+                paper[1],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["proportion", "MMKGR", "MMKGR (paper, %)", "OSKGR", "OSKGR (paper, %)"],
+            rows,
+            title=f"Table VIII — Hits@1 on sampled test subsets ({WN9})",
+        )
+    )
+    assert set(results) == set(PROPORTIONS)

@@ -1,0 +1,113 @@
+"""Round-trip a dataset through TSV files and checkpoint a trained model.
+
+Run with::
+
+    python examples/custom_dataset_io.py
+
+This example shows the data-interchange surface a user with the *original*
+WN9-IMG-TXT / FB-IMG-TXT releases (or any own knowledge graph) would touch:
+
+1. export a synthetic dataset to ``head<TAB>relation<TAB>tail`` TSV splits —
+   the same layout the public MKG releases use;
+2. load the TSV files back into a :class:`~repro.kg.graph.KnowledgeGraph` and
+   verify the round trip;
+3. print structural statistics (degree profile, relation cardinality classes,
+   how many held-out facts are answerable by multi-hop paths);
+4. train MMKGR, checkpoint it to disk, reload the checkpoint in a fresh
+   pipeline, and confirm both evaluate identically.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import MMKGRPipeline, build_named_dataset, fast_preset
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.kg.io import load_graph, write_triples_tsv
+from repro.kg.statistics import describe_dataset, relation_cardinality
+from repro.utils.tables import format_table
+
+
+def export_splits(dataset, directory: Path) -> None:
+    graph = dataset.graph
+    for split_name, triples in (
+        ("train", dataset.splits.train),
+        ("valid", dataset.splits.valid),
+        ("test", dataset.splits.test),
+    ):
+        rows = [
+            (
+                graph.entities.symbol(t.head),
+                graph.relations.symbol(t.relation),
+                graph.entities.symbol(t.tail),
+            )
+            for t in triples
+        ]
+        write_triples_tsv(directory / f"{split_name}.tsv", rows)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="mmkgr_example_"))
+    print(f"working directory: {workdir}")
+
+    print("\n1. Exporting a synthetic WN9-IMG-TXT analogue to TSV splits ...")
+    dataset = build_named_dataset("wn9-img-txt", scale=0.4, seed=23)
+    export_splits(dataset, workdir)
+    for name in ("train", "valid", "test"):
+        size = sum(1 for _ in (workdir / f"{name}.tsv").open())
+        print(f"   {name}.tsv: {size} triples")
+
+    print("\n2. Loading train.tsv back into a KnowledgeGraph ...")
+    reloaded = load_graph(workdir / "train.tsv")
+    print(
+        f"   reloaded graph: {reloaded.num_entities} entities, "
+        f"{reloaded.num_triples} forward triples "
+        f"(original train split: {len(dataset.splits.train)})"
+    )
+
+    print("\n3. Structural statistics of the dataset:")
+    description = describe_dataset(dataset, rng=0)
+    interesting = [
+        "entities", "relations", "triples", "degree_mean", "relation_freq_gini",
+        "test_multihop_answerable",
+    ]
+    print(
+        format_table(
+            ["statistic", "value"], [[key, description[key]] for key in interesting]
+        )
+    )
+    cardinality = relation_cardinality(dataset.graph)
+    print("\n   relation cardinality classes: "
+          + ", ".join(f"{rel}: {kind}" for rel, kind in sorted(cardinality.items())[:6])
+          + " ...")
+
+    print("\n4. Training MMKGR, checkpointing, and reloading ...")
+    pipeline = MMKGRPipeline(dataset, preset=fast_preset())
+    pipeline.train()
+    checkpoint_dir = workdir / "checkpoint"
+    save_checkpoint(pipeline, checkpoint_dir)
+    print(f"   checkpoint written to {checkpoint_dir}")
+
+    restored = load_checkpoint(checkpoint_dir)
+    sample = dataset.splits.test[:20]
+    original_metrics = pipeline.evaluate(sample)
+    restored_metrics = restored.evaluate(sample)
+    print(
+        format_table(
+            ["metric", "trained pipeline", "restored checkpoint"],
+            [
+                [name, original_metrics[name], restored_metrics[name]]
+                for name in sorted(original_metrics)
+            ],
+        )
+    )
+    match = all(
+        abs(original_metrics[name] - restored_metrics[name]) < 1e-9
+        for name in original_metrics
+    )
+    print(f"\n   restored checkpoint evaluates identically: {match}")
+
+
+if __name__ == "__main__":
+    main()

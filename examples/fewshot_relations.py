@@ -1,0 +1,67 @@
+"""Few-shot relation reasoning — the paper's stated future-work direction.
+
+Run with::
+
+    python examples/fewshot_relations.py
+
+The script trains MMKGR on the background relations of a synthetic
+FB-IMG-TXT analogue, then evaluates the rarest relations under the few-shot
+protocol: for each few-shot relation a K-shot support set is revealed (its
+edges become walkable and the policy is briefly fine-tuned on them) and the
+remaining facts of that relation are used as queries.  The printed table
+compares reasoning with support *edges only* against reasoning after
+*adaptation*, per relation and overall.
+"""
+
+from __future__ import annotations
+
+from repro import MMKGRPipeline, build_named_dataset, fast_preset
+from repro.fewshot import AdaptationConfig, build_fewshot_split, evaluate_fewshot
+from repro.utils.tables import format_table
+
+SUPPORT_SIZE = 3
+
+
+def main() -> None:
+    print("Building a synthetic FB-IMG-TXT analogue ...")
+    dataset = build_named_dataset("fb-img-txt", scale=0.4, seed=19)
+    split = build_fewshot_split(dataset, fewshot_fraction=0.3, rng=0)
+    summary = split.summary()
+    print(
+        f"  {int(summary['background_relations'])} background relations, "
+        f"{int(summary['fewshot_relations'])} few-shot relations, "
+        f"{int(summary['fewshot_triples'])} few-shot facts"
+    )
+
+    print("\nTraining MMKGR on the full training graph ...")
+    pipeline = MMKGRPipeline(dataset, preset=fast_preset())
+    pipeline.train()
+
+    print(f"\nRunning the few-shot protocol ({SUPPORT_SIZE}-shot support sets) ...")
+    result = evaluate_fewshot(
+        pipeline,
+        split=split,
+        support_size=SUPPORT_SIZE,
+        max_relations=5,
+        max_queries_per_relation=15,
+        adaptation=AdaptationConfig(imitation_epochs=3),
+        rng=0,
+    )
+
+    for metric in ("mrr", "hits@1"):
+        print()
+        print(
+            format_table(
+                ["relation", *result.regimes()],
+                result.as_rows(metric),
+                title=f"few-shot relations — {metric}",
+            )
+        )
+    print(
+        f"\nadaptation gain over support-edges-only (overall MRR): "
+        f"{result.improvement('mrr'):+.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

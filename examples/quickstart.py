@@ -1,0 +1,70 @@
+"""Quickstart: train MMKGR on a small synthetic multi-modal KG and evaluate it.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a scaled-down synthetic analogue of WN9-IMG-TXT, trains the
+full MMKGR pipeline (TransE structural features → unified gate-attention
+fusion → complementary feature-aware RL with the 3D reward), and prints
+entity link prediction metrics together with a couple of reasoning paths the
+trained agent actually walks.
+"""
+
+from __future__ import annotations
+
+from repro import MMKGRPipeline, build_named_dataset, fast_preset
+from repro.rl.environment import Query
+from repro.rl.rollout import beam_search
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    print("Building a synthetic WN9-IMG-TXT analogue ...")
+    dataset = build_named_dataset("wn9-img-txt", scale=0.4, seed=7)
+    print(
+        f"  {dataset.statistics.num_entities} entities, "
+        f"{dataset.statistics.num_relations} relations, "
+        f"{dataset.statistics.num_train} train / {dataset.statistics.num_test} test triples"
+    )
+
+    print("\nTraining MMKGR (TransE pre-training -> fusion network -> RL fine-tuning) ...")
+    pipeline = MMKGRPipeline(dataset, preset=fast_preset())
+    result = pipeline.run()
+
+    print("\nEntity link prediction on the held-out test triples:")
+    print(
+        format_table(
+            ["metric", "value"],
+            [[name, value] for name, value in sorted(result.entity_metrics.items())],
+        )
+    )
+
+    print("\nExample reasoning paths found by the trained agent:")
+    graph = dataset.graph
+    shown = 0
+    for triple in dataset.splits.test:
+        query = Query(triple.head, triple.relation, triple.tail)
+        search = beam_search(result.agent, pipeline.environment, query, beam_width=8)
+        if search.best_entity() != triple.tail:
+            continue
+        path = search.paths[triple.tail]
+        steps = " -> ".join(
+            f"[{graph.relations.symbol(relation)}] {graph.entities.symbol(entity)}"
+            for relation, entity in path
+        )
+        print(
+            f"  query ({graph.entities.symbol(triple.head)}, "
+            f"{graph.relations.symbol(triple.relation)}, ?)  answered via  "
+            f"{graph.entities.symbol(triple.head)} -> {steps}"
+        )
+        shown += 1
+        if shown >= 3:
+            break
+    if shown == 0:
+        print("  (no test query answered at rank 1 with this tiny training budget —")
+        print("   increase the preset's epochs/scale for better results)")
+
+
+if __name__ == "__main__":
+    main()

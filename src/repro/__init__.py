@@ -1,0 +1,87 @@
+"""MMKGR: Multi-hop Multi-modal Knowledge Graph Reasoning — reproduction.
+
+A from-scratch Python implementation of the system described in
+"MMKGR: Multi-hop Multi-modal Knowledge Graph Reasoning" (ICDE 2023),
+including every substrate it depends on: a NumPy autograd / neural-network
+library, a multi-modal knowledge-graph data model with synthetic dataset
+generators, embedding models for structural features and reward shaping, the
+unified gate-attention fusion network, the complementary feature-aware
+reinforcement-learning agent with the 3D reward, every ablation variant, and
+reimplementations of the baselines the paper compares against.
+
+Typical usage::
+
+    from repro import build_named_dataset, MMKGRPipeline, fast_preset
+
+    dataset = build_named_dataset("wn9-img-txt", scale=0.5)
+    pipeline = MMKGRPipeline(dataset, preset=fast_preset())
+    result = pipeline.run()
+    print(result.entity_metrics)
+"""
+
+from repro.core.ablations import AblationName, build_ablation_pipeline
+from repro.core.config import (
+    EvaluationConfig,
+    ExperimentPreset,
+    MMKGRConfig,
+    fast_preset,
+    paper_preset,
+)
+from repro.core.evaluator import (
+    evaluate_entity_prediction,
+    evaluate_relation_prediction,
+    hop_distribution,
+)
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.experiment import ExperimentRunner
+from repro.core.model import MMKGRAgent
+from repro.core.trainer import MMKGRPipeline, PipelineResult
+from repro.explain import Explainer, build_report, explain_pipeline
+from repro.fewshot import build_fewshot_split, evaluate_fewshot
+from repro.kg.datasets import (
+    MKGDataset,
+    SyntheticMKGConfig,
+    build_dataset,
+    build_named_dataset,
+    fb_img_txt_config,
+    wn9_img_txt_config,
+)
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "Explainer",
+    "explain_pipeline",
+    "build_report",
+    "build_fewshot_split",
+    "evaluate_fewshot",
+    "__version__",
+    "AblationName",
+    "build_ablation_pipeline",
+    "MMKGRConfig",
+    "EvaluationConfig",
+    "ExperimentPreset",
+    "fast_preset",
+    "paper_preset",
+    "evaluate_entity_prediction",
+    "evaluate_relation_prediction",
+    "hop_distribution",
+    "ExperimentRunner",
+    "MMKGRAgent",
+    "MMKGRPipeline",
+    "PipelineResult",
+    "MKGDataset",
+    "SyntheticMKGConfig",
+    "build_dataset",
+    "build_named_dataset",
+    "wn9_img_txt_config",
+    "fb_img_txt_config",
+    "KnowledgeGraph",
+    "Triple",
+    "EntityModalities",
+    "MultiModalKnowledgeGraph",
+]

@@ -1,0 +1,66 @@
+"""Result analysis: aggregation across seeds, uncertainty, charts, and export.
+
+The paper reports single-run percentages; a reproduction on small synthetic
+datasets is noisier, so the benches and examples in this repository lean on
+the helpers here to report means, standard deviations, bootstrap confidence
+intervals, and paired significance tests across seeds — and to render the
+figure-style results (Figs. 8-12) as ASCII charts directly in the terminal.
+
+* :mod:`repro.analysis.aggregate` — multi-seed aggregation of metric dicts;
+* :mod:`repro.analysis.bootstrap` — bootstrap confidence intervals and paired
+  significance tests over per-query or per-seed scores;
+* :mod:`repro.analysis.charts` — dependency-free ASCII bar/line charts;
+* :mod:`repro.analysis.export` — CSV/JSON export of result records;
+* :mod:`repro.analysis.sweeps` — cartesian parameter sweeps with tidy records.
+"""
+
+from repro.analysis.aggregate import (
+    MetricSummary,
+    aggregate_runs,
+    compare_models,
+    run_multi_seed,
+)
+from repro.analysis.bootstrap import (
+    bootstrap_confidence_interval,
+    paired_bootstrap_test,
+    sign_test,
+)
+from repro.analysis.charts import ascii_bar_chart, ascii_histogram, ascii_line_chart
+from repro.analysis.comparison import (
+    ComparisonResult,
+    compare_agents,
+    compare_scores,
+    per_query_reciprocal_ranks,
+)
+from repro.analysis.export import (
+    load_records_json,
+    metrics_table,
+    records_to_csv,
+    records_to_json,
+    save_metrics_csv,
+)
+from repro.analysis.sweeps import SweepResult, run_sweep
+
+__all__ = [
+    "MetricSummary",
+    "aggregate_runs",
+    "compare_models",
+    "run_multi_seed",
+    "bootstrap_confidence_interval",
+    "paired_bootstrap_test",
+    "sign_test",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "ascii_histogram",
+    "ComparisonResult",
+    "compare_agents",
+    "compare_scores",
+    "per_query_reciprocal_ranks",
+    "load_records_json",
+    "metrics_table",
+    "records_to_csv",
+    "records_to_json",
+    "save_metrics_csv",
+    "SweepResult",
+    "run_sweep",
+]

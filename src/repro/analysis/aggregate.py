@@ -1,0 +1,117 @@
+"""Aggregating metric dictionaries across repeated runs (seeds).
+
+Every evaluator and baseline in this repository returns a flat
+``{metric name: value}`` dictionary.  These helpers collect such dictionaries
+over repeated runs, summarise each metric with mean / standard deviation /
+min / max, and lay the summaries out for the result tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Summary statistics of one metric over repeated runs."""
+
+    name: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+    values: Tuple[float, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def from_values(cls, name: str, values: Sequence[float]) -> "MetricSummary":
+        """Summarise a non-empty sequence of observations."""
+        data = np.asarray(list(values), dtype=np.float64)
+        if data.size == 0:
+            raise ValueError(f"metric {name!r} has no observations to summarise")
+        return cls(
+            name=name,
+            mean=float(np.mean(data)),
+            std=float(np.std(data, ddof=1)) if data.size > 1 else 0.0,
+            minimum=float(np.min(data)),
+            maximum=float(np.max(data)),
+            count=int(data.size),
+            values=tuple(float(v) for v in data),
+        )
+
+    def format(self, precision: int = 3) -> str:
+        """Compact ``mean ± std`` rendering used by tables and reports."""
+        return f"{self.mean:.{precision}f} ± {self.std:.{precision}f}"
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "count": float(self.count),
+        }
+
+
+def aggregate_runs(
+    runs: Sequence[Mapping[str, float]],
+    metrics: Sequence[str] | None = None,
+) -> Dict[str, MetricSummary]:
+    """Aggregate repeated metric dictionaries into per-metric summaries.
+
+    ``metrics`` restricts the aggregation to a subset; by default every metric
+    appearing in *all* runs is aggregated (metrics missing from some run are
+    skipped rather than silently filled with zeros).
+    """
+    if not runs:
+        raise ValueError("aggregate_runs needs at least one run")
+    if metrics is None:
+        shared = set(runs[0])
+        for run in runs[1:]:
+            shared &= set(run)
+        metrics = sorted(shared)
+    summaries: Dict[str, MetricSummary] = {}
+    for metric in metrics:
+        values = [run[metric] for run in runs if metric in run]
+        if not values:
+            raise KeyError(f"metric {metric!r} is missing from every run")
+        summaries[metric] = MetricSummary.from_values(metric, values)
+    return summaries
+
+
+def run_multi_seed(
+    factory: Callable[[int], Mapping[str, float]],
+    seeds: Iterable[int],
+    metrics: Sequence[str] | None = None,
+) -> Dict[str, MetricSummary]:
+    """Run ``factory(seed)`` for every seed and aggregate the returned metrics.
+
+    ``factory`` is typically a closure that builds, trains, and evaluates a
+    pipeline with the given seed and returns its ``entity_metrics``.
+    """
+    runs = [dict(factory(seed)) for seed in seeds]
+    if not runs:
+        raise ValueError("run_multi_seed needs at least one seed")
+    return aggregate_runs(runs, metrics=metrics)
+
+
+def compare_models(
+    results: Mapping[str, Sequence[Mapping[str, float]]],
+    metrics: Sequence[str] = ("mrr", "hits@1", "hits@5", "hits@10"),
+    precision: int = 3,
+) -> Tuple[List[str], List[List[str]]]:
+    """Lay out multi-seed results of several models as table headers and rows.
+
+    ``results`` maps a model name to its per-seed metric dictionaries.  The
+    returned rows contain ``mean ± std`` strings, ready for
+    :func:`repro.utils.tables.format_table`.
+    """
+    headers = ["model", *metrics]
+    rows: List[List[str]] = []
+    for model, runs in results.items():
+        summaries = aggregate_runs(list(runs), metrics=list(metrics))
+        rows.append([model, *[summaries[m].format(precision) for m in metrics]])
+    return headers, rows

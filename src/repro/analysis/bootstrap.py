@@ -1,0 +1,131 @@
+"""Bootstrap confidence intervals and paired significance tests.
+
+The per-query reciprocal ranks (or per-seed metrics) produced by the
+evaluation protocol are the natural resampling unit: the non-parametric
+bootstrap gives confidence intervals without distributional assumptions, and
+the paired bootstrap / sign tests answer the question the comparison tables
+implicitly ask — "is model A really better than model B on these queries, or
+is the gap within noise?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided bootstrap confidence interval around a sample mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def format(self, precision: int = 3) -> str:
+        return (
+            f"{self.mean:.{precision}f} "
+            f"[{self.lower:.{precision}f}, {self.upper:.{precision}f}]"
+        )
+
+
+def bootstrap_confidence_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_samples: int = 1000,
+    rng: SeedLike = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval of the mean of ``values``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    generator = new_rng(rng)
+    indices = generator.integers(0, data.size, size=(num_samples, data.size))
+    resampled_means = data[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(resampled_means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        mean=float(np.mean(data)),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_test(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    num_samples: int = 1000,
+    rng: SeedLike = None,
+) -> Tuple[float, float]:
+    """Paired bootstrap test that system A outperforms system B.
+
+    ``scores_a`` and ``scores_b`` are per-query scores of the two systems on
+    the *same* queries (e.g. reciprocal ranks).  Returns ``(mean difference,
+    p_value)`` where the p-value estimates the probability that the observed
+    advantage of A would not survive resampling (small is significant).
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("paired scores must be non-empty and equally sized")
+    differences = a - b
+    observed = float(np.mean(differences))
+    generator = new_rng(rng)
+    indices = generator.integers(0, differences.size, size=(num_samples, differences.size))
+    resampled = differences[indices].mean(axis=1)
+    if observed >= 0:
+        p_value = float(np.mean(resampled <= 0.0))
+    else:
+        p_value = float(np.mean(resampled >= 0.0))
+    return observed, p_value
+
+
+def sign_test(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+) -> Tuple[int, int, float]:
+    """Two-sided sign test over paired scores.
+
+    Returns ``(wins_a, wins_b, p_value)`` where ties are discarded and the
+    p-value is the exact binomial probability of a split at least this
+    unbalanced under the null hypothesis that either system wins each query
+    with probability one half.
+    """
+    a = np.asarray(list(scores_a), dtype=np.float64)
+    b = np.asarray(list(scores_b), dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("paired scores must be non-empty and equally sized")
+    wins_a = int(np.sum(a > b))
+    wins_b = int(np.sum(b > a))
+    decisive = wins_a + wins_b
+    if decisive == 0:
+        return wins_a, wins_b, 1.0
+    k = max(wins_a, wins_b)
+    # Two-sided exact binomial tail: P(X >= k) * 2, capped at 1.
+    tail = sum(_binomial_pmf(decisive, i) for i in range(k, decisive + 1))
+    return wins_a, wins_b, float(min(1.0, 2.0 * tail))
+
+
+def _binomial_pmf(n: int, k: int, p: float = 0.5) -> float:
+    from math import comb
+
+    return comb(n, k) * (p ** k) * ((1.0 - p) ** (n - k))

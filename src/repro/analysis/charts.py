@@ -1,0 +1,116 @@
+"""Dependency-free ASCII charts for figure-style results.
+
+The paper presents several results as bar charts (Figs. 4-5), pie charts
+(Figs. 6-7), and line plots (Figs. 8-12).  The benchmark harness prints plain
+tables for all of them; these helpers additionally render the same data as
+terminal charts so the *shape* of a sweep (where the optimum sits, whether a
+curve flattens) is visible at a glance in ``bench_output.txt`` and in the
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+BAR_CHARACTER = "█"
+POINT_CHARACTERS = "ox+*#@%&"
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Horizontal bar chart with one bar per label."""
+    labels = [str(label) for label in labels]
+    values = [float(value) for value in values]
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    if not labels:
+        return title or "(empty chart)"
+
+    label_width = max(len(label) for label in labels)
+    peak = max((abs(v) for v in values), default=0.0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        length = 0 if peak == 0 else int(round(width * abs(value) / peak))
+        bar = BAR_CHARACTER * length
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.{precision}f}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Histogram of a sample, one bar per bin."""
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    data = np.asarray(list(values), dtype=np.float64)
+    if data.size == 0:
+        return title or "(empty histogram)"
+    counts, edges = np.histogram(data, bins=bins)
+    labels = [f"[{edges[i]:.2f}, {edges[i + 1]:.2f})" for i in range(bins)]
+    return ascii_bar_chart(labels, counts.tolist(), width=width, title=title, precision=0)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Plot one or more ``(x, y)`` series on a character grid.
+
+    Each series gets its own marker character; the legend below the plot maps
+    markers back to series names.  Later series overwrite earlier ones where
+    they collide on the same cell.
+    """
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    cleaned: Dict[str, List[Tuple[float, float]]] = {
+        name: [(float(x), float(y)) for x, y in points] for name, points in series.items()
+    }
+    all_points = [point for points in cleaned.values() for point in points]
+    if not all_points:
+        return title or "(empty chart)"
+
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(cleaned.items()):
+        marker = POINT_CHARACTERS[index % len(POINT_CHARACTERS)]
+        for x, y in points:
+            column = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:.{precision}f}, {y_max:.{precision}f}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_min:.{precision}f}, {x_max:.{precision}f}]")
+    legend = "  ".join(
+        f"{POINT_CHARACTERS[i % len(POINT_CHARACTERS)]}={name}"
+        for i, name in enumerate(cleaned)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Exporting result records and metric tables to CSV / JSON.
+
+Benchmarks and examples produce either *records* (a list of flat dictionaries,
+one per configuration) or *metric tables* (a ``{model: {metric: value}}``
+mapping).  These helpers write both to disk in formats downstream tooling can
+ingest, without depending on pandas.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+def records_to_csv(records: Sequence[Mapping[str, object]], path: PathLike) -> Path:
+    """Write a list of flat dictionaries as CSV.
+
+    The header is the union of all keys, in first-appearance order; missing
+    values are written as empty cells.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fieldnames: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(dict(record))
+    return path
+
+
+def records_to_json(records: Sequence[Mapping[str, object]], path: PathLike) -> Path:
+    """Write a list of flat dictionaries as a JSON array."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps([dict(r) for r in records], indent=2), encoding="utf-8")
+    return path
+
+
+def metrics_table(
+    results: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str] | None = None,
+    label: str = "model",
+) -> Tuple[List[str], List[List[object]]]:
+    """Lay out ``{model: {metric: value}}`` results as table headers and rows.
+
+    ``metrics`` fixes the column order; by default the metrics of the first
+    model are used.  Missing metrics render as ``None`` (shown as ``-`` by
+    :func:`repro.utils.tables.format_table`).
+    """
+    names = list(results)
+    if metrics is None:
+        metrics = list(results[names[0]]) if names else []
+    headers = [label, *metrics]
+    rows = [
+        [name, *[results[name].get(metric) for metric in metrics]] for name in names
+    ]
+    return headers, rows
+
+
+def save_metrics_csv(
+    results: Mapping[str, Mapping[str, float]],
+    path: PathLike,
+    metrics: Sequence[str] | None = None,
+    label: str = "model",
+) -> Path:
+    """Write a metric table to CSV (one row per model)."""
+    headers, rows = metrics_table(results, metrics=metrics, label=label)
+    records: List[Dict[str, object]] = [dict(zip(headers, row)) for row in rows]
+    return records_to_csv(records, path)
+
+
+def load_records_json(path: PathLike) -> List[Dict[str, object]]:
+    """Read back records written by :func:`records_to_json`."""
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"{path} does not contain a JSON array of records")
+    return [dict(item) for item in data]

@@ -1,0 +1,90 @@
+"""Generic parameter sweeps with tidy result records.
+
+The paper's Figs. 10-12 and Table VI are parameter sweeps (epochs × batch
+size, bandwidth, reward weights, step × threshold).  ``run_sweep`` runs a
+user-supplied function over the cartesian product of a parameter grid and
+collects one flat record per configuration, which the analysis and export
+helpers can then chart or persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.utils.logging import get_logger
+
+LOGGER = get_logger("analysis.sweeps")
+
+
+@dataclass
+class SweepResult:
+    """The records produced by one parameter sweep."""
+
+    parameter_names: List[str]
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def metric_values(self, metric: str) -> List[float]:
+        """All observed values of ``metric`` in sweep order."""
+        return [float(record[metric]) for record in self.records if metric in record]
+
+    def best_record(self, metric: str, maximize: bool = True) -> Dict[str, object]:
+        """The record with the best value of ``metric``."""
+        candidates = [record for record in self.records if metric in record]
+        if not candidates:
+            raise KeyError(f"no sweep record contains metric {metric!r}")
+        key = lambda record: float(record[metric])  # noqa: E731 - tiny local key
+        return max(candidates, key=key) if maximize else min(candidates, key=key)
+
+    def series(self, x: str, y: str) -> List[tuple]:
+        """``(x, y)`` pairs for charting one metric against one parameter."""
+        return [
+            (record[x], float(record[y]))
+            for record in self.records
+            if x in record and y in record
+        ]
+
+    def grouped_series(self, group_by: str, x: str, y: str) -> Dict[str, List[tuple]]:
+        """One ``(x, y)`` series per distinct value of ``group_by`` (for line charts)."""
+        series: Dict[str, List[tuple]] = {}
+        for record in self.records:
+            if group_by not in record or x not in record or y not in record:
+                continue
+            series.setdefault(str(record[group_by]), []).append(
+                (record[x], float(record[y]))
+            )
+        return series
+
+
+def run_sweep(
+    grid: Mapping[str, Sequence[object]],
+    evaluate: Callable[..., Mapping[str, float]],
+    skip: Optional[Callable[..., bool]] = None,
+    verbose: bool = False,
+) -> SweepResult:
+    """Evaluate ``evaluate(**params)`` over the cartesian product of ``grid``.
+
+    ``evaluate`` receives one keyword argument per grid dimension and returns a
+    metric dictionary; each sweep record contains the parameters plus the
+    returned metrics.  ``skip(**params)`` can rule out invalid combinations
+    (e.g. a distance threshold larger than the maximum step in Table VI).
+    """
+    if not grid:
+        raise ValueError("the sweep grid must contain at least one parameter")
+    names = list(grid)
+    result = SweepResult(parameter_names=names)
+    for combination in product(*(grid[name] for name in names)):
+        params = dict(zip(names, combination))
+        if skip is not None and skip(**params):
+            continue
+        if verbose:
+            LOGGER.info("sweep point %s", params)
+        metrics = evaluate(**params)
+        record: Dict[str, object] = dict(params)
+        record.update({key: float(value) for key, value in metrics.items()})
+        result.records.append(record)
+    return result

@@ -1,0 +1,97 @@
+"""Uniform interface and registry for baseline models.
+
+Every baseline implements :class:`BaselineRunner`: given a dataset and a
+preset it trains itself and reports the same metric dictionaries MMKGR
+reports, so the experiment runner can iterate over models without caring how
+each one works internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol, Type
+
+from repro.core.config import ExperimentPreset, fast_preset
+from repro.kg.datasets import MKGDataset
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class BaselineResult:
+    """Metrics reported by a baseline run."""
+
+    name: str
+    entity_metrics: Dict[str, float] = field(default_factory=dict)
+    relation_metrics: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mrr(self) -> float:
+        return self.entity_metrics.get("mrr", float("nan"))
+
+    def hits(self, k: int) -> float:
+        return self.entity_metrics.get(f"hits@{k}", float("nan"))
+
+
+class BaselineRunner(Protocol):
+    """The interface every baseline implements."""
+
+    name: str
+
+    def run(
+        self,
+        dataset: MKGDataset,
+        preset: Optional[ExperimentPreset] = None,
+        evaluate_relations: bool = False,
+        rng: SeedLike = None,
+    ) -> BaselineResult:
+        ...
+
+
+BASELINE_REGISTRY: Dict[str, Type] = {}
+
+
+def register_baseline(cls: Type) -> Type:
+    """Class decorator adding a baseline to the registry under ``cls.name``."""
+    name = getattr(cls, "name", None)
+    if not name:
+        raise ValueError(f"baseline class {cls.__name__} must define a non-empty 'name'")
+    BASELINE_REGISTRY[name] = cls
+    return cls
+
+
+def available_baselines() -> List[str]:
+    """Names of all registered baselines (import side effect of the package)."""
+    # Importing the package registers every baseline class.
+    import repro.baselines  # noqa: F401  (self import keeps registry populated)
+
+    return sorted(BASELINE_REGISTRY)
+
+
+def get_baseline(name: str) -> BaselineRunner:
+    """Instantiate a registered baseline by name."""
+    import repro.baselines  # noqa: F401
+
+    try:
+        cls = BASELINE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(BASELINE_REGISTRY))
+        raise KeyError(f"unknown baseline {name!r}; known baselines: {known}") from None
+    return cls()
+
+
+def run_baseline(
+    name: str,
+    dataset: MKGDataset,
+    preset: Optional[ExperimentPreset] = None,
+    evaluate_relations: bool = False,
+    rng: SeedLike = None,
+) -> BaselineResult:
+    """Convenience wrapper: instantiate and run a baseline in one call."""
+    runner = get_baseline(name)
+    return runner.run(
+        dataset,
+        preset=preset or fast_preset(),
+        evaluate_relations=evaluate_relations,
+        rng=rng,
+    )

@@ -1,0 +1,20 @@
+"""Command-line interface to the MMKGR reproduction.
+
+The CLI wraps the library's high-level entry points so the main workflows can
+be driven without writing Python:
+
+* ``mmkgr dataset stats`` / ``mmkgr dataset generate`` — inspect or export the
+  synthetic multi-modal KG datasets;
+* ``mmkgr train`` — train MMKGR (or one of its ablations) and write a
+  checkpoint;
+* ``mmkgr evaluate`` — entity / relation link prediction from a checkpoint;
+* ``mmkgr explain`` — per-query reasoning-path explanations and mined rules;
+* ``mmkgr fewshot`` — the few-shot relation protocol from a checkpoint;
+* ``mmkgr baselines`` — run the reimplemented baselines on a dataset.
+
+Run ``mmkgr --help`` (or ``python -m repro --help``) for the full reference.
+"""
+
+from repro.cli.main import build_parser, main
+
+__all__ = ["build_parser", "main"]

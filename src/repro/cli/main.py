@@ -1,0 +1,267 @@
+"""Argument parsing and command dispatch for the ``mmkgr`` CLI."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.export import save_metrics_csv
+from repro.baselines.registry import available_baselines, run_baseline
+from repro.core.ablations import AblationName, build_ablation_pipeline
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.config import ExperimentPreset, fast_preset, paper_preset
+from repro.core.config_io import load_preset, save_dataset_config
+from repro.explain.explainer import explain_pipeline
+from repro.explain.report import build_report
+from repro.fewshot.adaptation import AdaptationConfig
+from repro.fewshot.evaluation import evaluate_fewshot
+from repro.kg.datasets import DATASET_REGISTRY, build_named_dataset
+from repro.kg.io import write_triples_tsv
+from repro.kg.statistics import describe_dataset, relation_cardinality
+from repro.utils.tables import format_table
+
+PRESETS = {"fast": fast_preset, "paper": paper_preset}
+
+
+# ------------------------------------------------------------------ utilities
+def _resolve_preset(args: argparse.Namespace) -> ExperimentPreset:
+    """Preset from ``--config`` (JSON file) or ``--preset`` (named factory)."""
+    if getattr(args, "config", None):
+        return load_preset(args.config)
+    return PRESETS[args.preset]()
+
+
+def _print_metrics(title: str, metrics: dict) -> None:
+    rows = [[name, value] for name, value in metrics.items()]
+    print(format_table(["metric", "value"], rows, title=title))
+
+
+def _triples_as_strings(dataset, triples):
+    graph = dataset.graph
+    return [
+        (
+            graph.entities.symbol(t.head),
+            graph.relations.symbol(t.relation),
+            graph.entities.symbol(t.tail),
+        )
+        for t in triples
+    ]
+
+
+# ------------------------------------------------------------------- commands
+def cmd_dataset_stats(args: argparse.Namespace) -> int:
+    dataset = build_named_dataset(args.name, scale=args.scale, seed=args.seed)
+    description = describe_dataset(dataset, rng=args.seed)
+    _print_metrics(f"dataset statistics — {dataset.config.name}", description)
+    if args.cardinality:
+        cardinality = relation_cardinality(dataset.graph)
+        rows = [[relation, kind] for relation, kind in sorted(cardinality.items())]
+        print()
+        print(format_table(["relation", "cardinality"], rows, title="relation cardinality"))
+    return 0
+
+
+def cmd_dataset_generate(args: argparse.Namespace) -> int:
+    dataset = build_named_dataset(args.name, scale=args.scale, seed=args.seed)
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    for split_name, triples in (
+        ("train", dataset.splits.train),
+        ("valid", dataset.splits.valid),
+        ("test", dataset.splits.test),
+    ):
+        write_triples_tsv(output / f"{split_name}.tsv", _triples_as_strings(dataset, triples))
+    save_dataset_config(dataset.config, output / "dataset_config.json")
+    (output / "statistics.json").write_text(
+        json.dumps(describe_dataset(dataset, rng=args.seed), indent=2), encoding="utf-8"
+    )
+    print(f"wrote train/valid/test TSV splits, dataset_config.json and statistics.json to {output}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    preset = _resolve_preset(args)
+    dataset = build_named_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    ablation = AblationName(args.ablation)
+    pipeline = build_ablation_pipeline(dataset, ablation, preset=preset, rng=args.seed)
+    result = pipeline.run(evaluate_relations=args.relations)
+    _print_metrics(f"{ablation.value} on {args.dataset} — entity link prediction", result.entity_metrics)
+    if args.relations:
+        _print_metrics("relation link prediction (MAP)", result.relation_metrics)
+    if args.output:
+        save_checkpoint(pipeline, args.output)
+        print(f"checkpoint written to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    pipeline = load_checkpoint(args.checkpoint)
+    metrics = pipeline.evaluate()
+    _print_metrics("entity link prediction", metrics)
+    if args.csv:
+        save_metrics_csv({"checkpoint": metrics}, args.csv, label="model")
+        print(f"metrics written to {args.csv}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    pipeline = load_checkpoint(args.checkpoint)
+    explanations = explain_pipeline(
+        pipeline, max_queries=args.max_queries, top_k=args.top_k
+    )
+    report = build_report(
+        explanations,
+        min_support=args.min_support,
+        model_description=pipeline.agent.describe(),
+    )
+    print(report.render_text(max_explanations=args.max_queries))
+    if args.output:
+        report.save(args.output)
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+def cmd_fewshot(args: argparse.Namespace) -> int:
+    pipeline = load_checkpoint(args.checkpoint)
+    result = evaluate_fewshot(
+        pipeline,
+        support_size=args.support_size,
+        max_relations=args.max_relations,
+        adaptation=AdaptationConfig(imitation_epochs=args.adaptation_epochs),
+        rng=args.seed,
+    )
+    headers = ["relation", *result.regimes()]
+    print(
+        format_table(
+            headers,
+            result.as_rows(args.metric),
+            title=f"few-shot relations — {args.metric} with {args.support_size}-shot support",
+        )
+    )
+    return 0
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    preset = _resolve_preset(args)
+    dataset = build_named_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    names = args.models.split(",") if args.models else available_baselines()
+    results = {}
+    for name in names:
+        name = name.strip()
+        results[name] = run_baseline(name, dataset, preset=preset, rng=args.seed).entity_metrics
+    metrics = ("mrr", "hits@1", "hits@5", "hits@10")
+    rows = [[name, *[values.get(m) for m in metrics]] for name, values in results.items()]
+    print(format_table(["model", *metrics], rows, title=f"baselines on {args.dataset}"))
+    if args.csv:
+        save_metrics_csv(results, args.csv)
+        print(f"metrics written to {args.csv}")
+    return 0
+
+
+# --------------------------------------------------------------------- parser
+def _add_common_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", type=float, default=0.5, help="dataset scale factor (default 0.5)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="random seed (default 7)")
+
+
+def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="fast", help="named preset (default fast)"
+    )
+    parser.add_argument(
+        "--config", type=str, default=None, help="path to a preset JSON file (overrides --preset)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mmkgr",
+        description="MMKGR: multi-hop multi-modal knowledge graph reasoning (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # dataset ------------------------------------------------------------
+    dataset = subparsers.add_parser("dataset", help="inspect or export synthetic datasets")
+    dataset_sub = dataset.add_subparsers(dest="dataset_command", required=True)
+
+    stats = dataset_sub.add_parser("stats", help="print dataset statistics")
+    stats.add_argument("--name", choices=sorted(DATASET_REGISTRY), default="wn9-img-txt")
+    stats.add_argument("--cardinality", action="store_true", help="also print relation cardinality")
+    _add_common_dataset_arguments(stats)
+    stats.set_defaults(handler=cmd_dataset_stats)
+
+    generate = dataset_sub.add_parser("generate", help="export TSV splits and config")
+    generate.add_argument("--name", choices=sorted(DATASET_REGISTRY), default="wn9-img-txt")
+    generate.add_argument("--output", required=True, help="output directory")
+    _add_common_dataset_arguments(generate)
+    generate.set_defaults(handler=cmd_dataset_generate)
+
+    # train ----------------------------------------------------------------
+    train = subparsers.add_parser("train", help="train MMKGR or an ablation variant")
+    train.add_argument("--dataset", choices=sorted(DATASET_REGISTRY), default="wn9-img-txt")
+    train.add_argument(
+        "--ablation",
+        choices=[name.value for name in AblationName],
+        default=AblationName.MMKGR.value,
+        help="model variant to train (default MMKGR)",
+    )
+    train.add_argument("--relations", action="store_true", help="also evaluate relation MAP")
+    train.add_argument("--output", type=str, default=None, help="checkpoint directory to write")
+    _add_common_dataset_arguments(train)
+    _add_preset_arguments(train)
+    train.set_defaults(handler=cmd_train)
+
+    # evaluate ---------------------------------------------------------------
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint")
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.add_argument("--csv", type=str, default=None, help="write metrics to this CSV file")
+    evaluate.set_defaults(handler=cmd_evaluate)
+
+    # explain ---------------------------------------------------------------
+    explain = subparsers.add_parser("explain", help="explain test predictions of a checkpoint")
+    explain.add_argument("--checkpoint", required=True)
+    explain.add_argument("--max-queries", type=int, default=10)
+    explain.add_argument("--top-k", type=int, default=3)
+    explain.add_argument("--min-support", type=int, default=1)
+    explain.add_argument("--output", type=str, default=None, help=".json or .txt report path")
+    explain.set_defaults(handler=cmd_explain)
+
+    # fewshot ---------------------------------------------------------------
+    fewshot = subparsers.add_parser("fewshot", help="few-shot relation protocol on a checkpoint")
+    fewshot.add_argument("--checkpoint", required=True)
+    fewshot.add_argument("--support-size", type=int, default=3)
+    fewshot.add_argument("--max-relations", type=int, default=None)
+    fewshot.add_argument("--adaptation-epochs", type=int, default=4)
+    fewshot.add_argument("--metric", default="mrr", choices=["mrr", "hits@1", "hits@5", "hits@10"])
+    fewshot.add_argument("--seed", type=int, default=7)
+    fewshot.set_defaults(handler=cmd_fewshot)
+
+    # baselines ---------------------------------------------------------------
+    baselines = subparsers.add_parser("baselines", help="run the reimplemented baselines")
+    baselines.add_argument("--dataset", choices=sorted(DATASET_REGISTRY), default="wn9-img-txt")
+    baselines.add_argument(
+        "--models", type=str, default="MTRL,MINERVA,RLH",
+        help="comma-separated baseline names (default MTRL,MINERVA,RLH; empty = all)",
+    )
+    baselines.add_argument("--csv", type=str, default=None, help="write metrics to this CSV file")
+    _add_common_dataset_arguments(baselines)
+    _add_preset_arguments(baselines)
+    baselines.set_defaults(handler=cmd_baselines)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the console script and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""MMKGR core: configuration, model, training pipeline, evaluation, ablations."""
+
+from repro.core.config import (
+    EvaluationConfig,
+    ExperimentPreset,
+    MMKGRConfig,
+    fast_preset,
+    paper_preset,
+)
+from repro.core.model import MMKGRAgent
+from repro.core.evaluator import (
+    evaluate_entity_prediction,
+    evaluate_relation_prediction,
+    hop_distribution,
+)
+from repro.core.trainer import MMKGRPipeline, PipelineResult
+from repro.core.ablations import AblationName, build_ablation_pipeline
+from repro.core.experiment import ExperimentRunner
+
+__all__ = [
+    "MMKGRConfig",
+    "EvaluationConfig",
+    "ExperimentPreset",
+    "fast_preset",
+    "paper_preset",
+    "MMKGRAgent",
+    "evaluate_entity_prediction",
+    "evaluate_relation_prediction",
+    "hop_distribution",
+    "MMKGRPipeline",
+    "PipelineResult",
+    "AblationName",
+    "build_ablation_pipeline",
+    "ExperimentRunner",
+]

@@ -1,0 +1,155 @@
+"""Checkpointing trained MMKGR pipelines.
+
+A checkpoint directory contains everything needed to restore an *evaluable*
+pipeline on a fresh process:
+
+* ``checkpoint.json`` — the dataset config, the experiment preset, the
+  modality switch, and the reward/fusion options of the pipeline;
+* ``structural.npz`` — the pretrained TransE entity/relation embeddings the
+  feature store serves;
+* ``agent.npz`` — the agent's trainable parameters (fusion network, history
+  encoder, policy).
+
+The synthetic datasets are deterministic functions of their config, so the
+graph and modalities are regenerated rather than stored.  A restored pipeline
+can evaluate, explain, and be adapted to few-shot tasks immediately; to
+continue REINFORCE training, call :meth:`~repro.core.trainer.MMKGRPipeline.
+pretrain_shaper` first so the destination reward has its shaping scorer back.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.config_io import (
+    dataset_config_from_dict,
+    dataset_config_to_dict,
+    preset_from_dict,
+    preset_to_dict,
+)
+from repro.core.model import MMKGRAgent
+from repro.core.trainer import MMKGRPipeline
+from repro.features.extraction import FeatureStore, ModalityConfig
+from repro.kg.datasets import build_dataset
+from repro.rl.environment import MKGEnvironment
+from repro.rl.rewards import ZeroOneReward, build_reward
+from repro.utils.rng import SeedLike
+
+PathLike = Union[str, Path]
+
+CHECKPOINT_FILE = "checkpoint.json"
+STRUCTURAL_FILE = "structural.npz"
+AGENT_FILE = "agent.npz"
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(pipeline: MMKGRPipeline, directory: PathLike) -> Path:
+    """Persist a built (and usually trained) pipeline to ``directory``."""
+    if pipeline.agent is None or pipeline.features is None:
+        raise RuntimeError("the pipeline has not been built yet; nothing to checkpoint")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "dataset_config": dataset_config_to_dict(pipeline.dataset.config),
+        "preset": preset_to_dict(pipeline.preset),
+        "modalities": {
+            "use_image": pipeline.modalities.use_image,
+            "use_text": pipeline.modalities.use_text,
+        },
+        "reward_scheme": pipeline.reward_scheme,
+        "shaping_scorer": pipeline.shaping_scorer,
+    }
+    (directory / CHECKPOINT_FILE).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    np.savez(
+        directory / STRUCTURAL_FILE,
+        entity_embeddings=pipeline.features.entity_embeddings,
+        relation_embeddings=pipeline.features.relation_embeddings,
+    )
+    np.savez(directory / AGENT_FILE, **pipeline.agent.state_dict())
+    return directory
+
+
+def load_checkpoint(directory: PathLike, rng: SeedLike = None) -> MMKGRPipeline:
+    """Restore an evaluable pipeline from a checkpoint directory."""
+    directory = Path(directory)
+    manifest_path = directory / CHECKPOINT_FILE
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"{manifest_path} does not exist; not a checkpoint directory")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint format version {version!r}")
+
+    dataset = build_dataset(dataset_config_from_dict(manifest["dataset_config"]))
+    preset = preset_from_dict(manifest["preset"])
+    modalities = ModalityConfig(**manifest["modalities"])
+    pipeline = MMKGRPipeline(
+        dataset,
+        preset=preset,
+        modalities=modalities,
+        reward_scheme=manifest["reward_scheme"],
+        shaping_scorer=manifest["shaping_scorer"],
+        rng=rng,
+    )
+
+    with np.load(directory / STRUCTURAL_FILE) as archive:
+        entity_embeddings = archive["entity_embeddings"]
+        relation_embeddings = archive["relation_embeddings"]
+
+    features = FeatureStore(
+        dataset.mkg,
+        structural_dim=entity_embeddings.shape[1],
+        modalities=modalities,
+        rng=pipeline.rng,
+    )
+    features.set_structural_embeddings(entity_embeddings, relation_embeddings)
+    pipeline.features = features
+    pipeline.environment = MKGEnvironment(
+        dataset.train_graph,
+        max_steps=preset.model.max_steps,
+        max_actions=preset.model.max_actions,
+    )
+    # The reward is rebuilt without its shaping scorer (the scorer is cheap to
+    # re-train via pretrain_shaper() when training resumes); evaluation and
+    # explanation do not consult the reward at all.
+    if manifest["reward_scheme"] == "zero_one":
+        pipeline.reward = ZeroOneReward()
+    else:
+        pipeline.reward = build_reward(
+            config=preset.reward,
+            scorer=None,
+            relation_embeddings=features.relation_embeddings,
+        )
+
+    agent = MMKGRAgent(features, config=preset.model, rng=pipeline.rng)
+    with np.load(directory / AGENT_FILE) as archive:
+        state = {key: archive[key] for key in archive.files}
+    agent.load_state_dict(state)
+    pipeline.agent = agent
+    return pipeline
+
+
+def checkpoint_exists(directory: PathLike) -> bool:
+    """Whether ``directory`` looks like a complete checkpoint."""
+    directory = Path(directory)
+    return all(
+        (directory / name).exists()
+        for name in (CHECKPOINT_FILE, STRUCTURAL_FILE, AGENT_FILE)
+    )
+
+
+def checkpoint_summary(directory: PathLike) -> Optional[dict]:
+    """The manifest of a checkpoint directory (``None`` if absent)."""
+    directory = Path(directory)
+    manifest_path = directory / CHECKPOINT_FILE
+    if not manifest_path.exists():
+        return None
+    return json.loads(manifest_path.read_text(encoding="utf-8"))

@@ -1,0 +1,150 @@
+"""Evaluation protocols: entity link prediction, relation link prediction, hops.
+
+* **Entity link prediction** (Table III) — for every test query ``(e_s, r_q, ?)``
+  the agent's beam search produces a ranking of reached entities; MRR and
+  Hits@N of the gold answer are reported under the filtered protocol.
+* **Relation link prediction** (Table IV) — for every test query
+  ``(e_s, ?, e_d)`` each candidate relation is scored by the probability mass
+  the agent's beam assigns to ``e_d`` when reasoning under that relation; MAP
+  over the relation ranking is reported per relation and overall.
+* **Hop distribution** (Figs. 6-7) — the number of hops of the successful
+  reasoning path per solved test query.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import EvaluationConfig
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.rl.environment import MKGEnvironment, Query
+from repro.rl.rollout import ReasoningAgent, beam_search
+from repro.utils.metrics import RankingResult, average_precision
+from repro.utils.rng import SeedLike, new_rng
+
+
+def evaluate_entity_prediction(
+    agent: ReasoningAgent,
+    environment: MKGEnvironment,
+    test_triples: Sequence[Triple],
+    filter_graph: Optional[KnowledgeGraph] = None,
+    config: Optional[EvaluationConfig] = None,
+    rng: SeedLike = None,
+) -> Dict[str, float]:
+    """Beam-search entity ranking metrics (MRR, Hits@N) over ``test_triples``."""
+    config = config or EvaluationConfig()
+    filter_graph = filter_graph or environment.graph
+    triples = _maybe_subsample(test_triples, config.max_queries, rng)
+
+    result = RankingResult()
+    for triple in triples:
+        query = Query(triple.head, triple.relation, triple.tail)
+        search = beam_search(agent, environment, query, beam_width=config.beam_width)
+        other_answers = filter_graph.tails_for(triple.head, triple.relation) - {triple.tail}
+        result.add(search.rank_of(triple.tail, filtered_out=other_answers))
+    return result.summary(hits_at=config.hits_at)
+
+
+def evaluate_relation_prediction(
+    agent: ReasoningAgent,
+    environment: MKGEnvironment,
+    test_triples: Sequence[Triple],
+    candidate_relations: Optional[Sequence[int]] = None,
+    config: Optional[EvaluationConfig] = None,
+    rng: SeedLike = None,
+) -> Dict[str, float]:
+    """MAP of relation link prediction ``(e_s, ?, e_d)``.
+
+    For each test triple, every candidate relation ``r`` is scored by the
+    beam-search log-probability of reaching ``e_d`` from ``e_s`` under query
+    relation ``r``; the gold relation's position in that ranking defines the
+    average precision.  Returns per-relation MAP plus an ``overall`` entry.
+    """
+    config = config or EvaluationConfig()
+    graph = environment.graph
+    if candidate_relations is None:
+        candidate_relations = _forward_relations(graph)
+    triples = _maybe_subsample(test_triples, config.max_queries, rng)
+
+    per_relation_scores: Dict[int, List[float]] = defaultdict(list)
+    all_scores: List[float] = []
+    for triple in triples:
+        scores: List[Tuple[int, float]] = []
+        for relation in candidate_relations:
+            query = Query(triple.head, relation, triple.tail)
+            search = beam_search(agent, environment, query, beam_width=config.beam_width)
+            scores.append((relation, search.score_of(triple.tail)))
+        scores.sort(key=lambda item: item[1], reverse=True)
+        relevance = [1 if relation == triple.relation else 0 for relation, _ in scores]
+        ap = average_precision(relevance)
+        per_relation_scores[triple.relation].append(ap)
+        all_scores.append(ap)
+
+    result: Dict[str, float] = {}
+    for relation, values in per_relation_scores.items():
+        name = graph.relations.symbol(relation)
+        result[name] = float(np.mean(values))
+    result["overall"] = float(np.mean(all_scores)) if all_scores else 0.0
+    return result
+
+
+def hop_distribution(
+    agent: ReasoningAgent,
+    environment: MKGEnvironment,
+    test_triples: Sequence[Triple],
+    config: Optional[EvaluationConfig] = None,
+    max_hops: int = 4,
+    rng: SeedLike = None,
+) -> Dict[str, float]:
+    """Proportion of successfully answered queries per path length (Figs. 6-7).
+
+    Only queries whose gold answer is the beam's top-ranked entity count as
+    "successfully inferred"; their path length is the hop count of the best
+    path reaching the answer.  Proportions are normalised over the successful
+    queries, as in the paper's pie charts.
+    """
+    config = config or EvaluationConfig()
+    triples = _maybe_subsample(test_triples, config.max_queries, rng)
+    counts: Dict[int, int] = defaultdict(int)
+    successes = 0
+    for triple in triples:
+        query = Query(triple.head, triple.relation, triple.tail)
+        search = beam_search(agent, environment, query, beam_width=config.beam_width)
+        if search.best_entity() != triple.tail:
+            continue
+        hops = min(max(1, search.entity_hops.get(triple.tail, 1)), max_hops)
+        counts[hops] += 1
+        successes += 1
+    distribution = {}
+    for hops in range(1, max_hops + 1):
+        key = f"{hops}_hops"
+        distribution[key] = counts[hops] / successes if successes else 0.0
+    distribution["success_count"] = float(successes)
+    return distribution
+
+
+def _forward_relations(graph: KnowledgeGraph) -> List[int]:
+    """Relation ids excluding inverse copies and the NO_OP self-loop."""
+    from repro.kg.graph import NO_OP_RELATION, is_inverse_relation
+
+    relations = []
+    for index in range(graph.num_relations):
+        name = graph.relations.symbol(index)
+        if name == NO_OP_RELATION or is_inverse_relation(name):
+            continue
+        relations.append(index)
+    return relations
+
+
+def _maybe_subsample(
+    triples: Sequence[Triple], max_queries: Optional[int], rng: SeedLike
+) -> List[Triple]:
+    triples = list(triples)
+    if max_queries is None or len(triples) <= max_queries:
+        return triples
+    rng = new_rng(rng if rng is not None else 0)
+    indices = rng.choice(len(triples), size=max_queries, replace=False)
+    return [triples[i] for i in sorted(indices)]

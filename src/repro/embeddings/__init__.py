@@ -1,0 +1,34 @@
+"""Embedding-based (single-hop) KG models.
+
+These serve three roles in the reproduction:
+
+* **TransE** initialises the structural features used by MMKGR (Section
+  IV-B1) and underlies the MTRL baseline;
+* **ConvE** provides the soft score used by the destination reward's reward
+  shaping (Eq. 13);
+* **DistMult / ComplEx / RESCAL / HolE** are additional single-hop reference
+  points mentioned in the related-work comparison.
+"""
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.embeddings.transe import TransE
+from repro.embeddings.distmult import DistMult
+from repro.embeddings.complex_ import ComplEx
+from repro.embeddings.rescal import RESCAL
+from repro.embeddings.hole import HolE
+from repro.embeddings.conve import ConvE
+from repro.embeddings.trainer import EmbeddingTrainer, EmbeddingTrainingConfig
+from repro.embeddings.evaluation import evaluate_embedding_model
+
+__all__ = [
+    "KGEmbeddingModel",
+    "TransE",
+    "DistMult",
+    "ComplEx",
+    "RESCAL",
+    "HolE",
+    "ConvE",
+    "EmbeddingTrainer",
+    "EmbeddingTrainingConfig",
+    "evaluate_embedding_model",
+]

@@ -1,0 +1,64 @@
+"""Common interface for embedding-based KG models."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph, Triple
+
+
+class KGEmbeddingModel:
+    """Interface shared by the single-hop embedding models.
+
+    Scores follow the convention "higher is better" (energy-based models such
+    as TransE negate their distance internally), so all downstream consumers
+    — evaluation, reward shaping, the MTRL baseline — can rank uniformly.
+    """
+
+    def __init__(self, graph: KnowledgeGraph, embedding_dim: int):
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        self.graph = graph
+        self.embedding_dim = embedding_dim
+
+    # --------------------------------------------------------------- scoring
+    def score_triple(self, head: int, relation: int, tail: int) -> float:
+        """Plausibility score of a single triple (higher = more plausible)."""
+        raise NotImplementedError
+
+    def score_tails(self, head: int, relation: int) -> np.ndarray:
+        """Scores of ``(head, relation, t)`` for every entity ``t``."""
+        raise NotImplementedError
+
+    def score_heads(self, relation: int, tail: int) -> np.ndarray:
+        """Scores of ``(h, relation, tail)`` for every entity ``h``.
+
+        Default implementation scores through the inverse relation when the
+        graph has one; models may override with a direct computation.
+        """
+        inverse = self.graph.inverse_relation_id(relation)
+        return self.score_tails(tail, inverse)
+
+    def probability(self, head: int, relation: int, tail: int) -> float:
+        """Squash the triple score into (0, 1); used by reward shaping."""
+        return float(1.0 / (1.0 + np.exp(-self.score_triple(head, relation, tail))))
+
+    # -------------------------------------------------------------- training
+    def train_step(self, positives: Sequence[Triple], negatives: Sequence[Triple], lr: float) -> float:
+        """One optimisation step on paired positive/negative triples.
+
+        Returns the batch loss.  Implemented per model because the gradient
+        structure differs (margin ranking vs. BCE).
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ embeddings
+    @property
+    def entity_embeddings(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def relation_embeddings(self) -> np.ndarray:
+        raise NotImplementedError

@@ -1,0 +1,104 @@
+"""ComplEx (Trouillon et al., 2016): complex-valued bilinear scoring.
+
+The score of ``(h, r, t)`` is ``Re(<h, r, conj(t)>)`` with complex-valued
+embeddings, which lets the model represent asymmetric relations that
+DistMult cannot.  Included as an additional single-hop reference model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _sigmoid(x: float) -> float:
+    return float(1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))))
+
+
+class ComplEx(KGEmbeddingModel):
+    """Complex bilinear model; embeddings are stored as (real, imaginary) pairs."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        embedding_dim: int = 32,
+        regularization: float = 1e-4,
+        rng: SeedLike = None,
+    ):
+        super().__init__(graph, embedding_dim)
+        self.regularization = regularization
+        rng = new_rng(rng)
+        scale = 1.0 / np.sqrt(embedding_dim)
+        shape_e = (graph.num_entities, embedding_dim)
+        shape_r = (graph.num_relations, embedding_dim)
+        self._e_re = rng.normal(0.0, scale, size=shape_e)
+        self._e_im = rng.normal(0.0, scale, size=shape_e)
+        self._r_re = rng.normal(0.0, scale, size=shape_r)
+        self._r_im = rng.normal(0.0, scale, size=shape_r)
+
+    # ---------------------------------------------------------------- scoring
+    def score_triple(self, head: int, relation: int, tail: int) -> float:
+        h_re, h_im = self._e_re[head], self._e_im[head]
+        r_re, r_im = self._r_re[relation], self._r_im[relation]
+        t_re, t_im = self._e_re[tail], self._e_im[tail]
+        return float(
+            np.sum(r_re * h_re * t_re)
+            + np.sum(r_re * h_im * t_im)
+            + np.sum(r_im * h_re * t_im)
+            - np.sum(r_im * h_im * t_re)
+        )
+
+    def score_tails(self, head: int, relation: int) -> np.ndarray:
+        h_re, h_im = self._e_re[head], self._e_im[head]
+        r_re, r_im = self._r_re[relation], self._r_im[relation]
+        real_part = self._e_re @ (r_re * h_re - r_im * h_im)
+        imag_part = self._e_im @ (r_re * h_im + r_im * h_re)
+        return real_part + imag_part
+
+    # --------------------------------------------------------------- training
+    def train_step(
+        self, positives: Sequence[Triple], negatives: Sequence[Triple], lr: float
+    ) -> float:
+        total_loss = 0.0
+        grads = {
+            "e_re": np.zeros_like(self._e_re),
+            "e_im": np.zeros_like(self._e_im),
+            "r_re": np.zeros_like(self._r_re),
+            "r_im": np.zeros_like(self._r_im),
+        }
+        examples = [(t, 1.0) for t in positives] + [(t, 0.0) for t in negatives]
+        for triple, label in examples:
+            h, r, t = triple.head, triple.relation, triple.tail
+            score = self.score_triple(h, r, t)
+            prob = _sigmoid(score)
+            total_loss += -(label * np.log(prob + 1e-12) + (1 - label) * np.log(1 - prob + 1e-12))
+            delta = prob - label
+            h_re, h_im = self._e_re[h], self._e_im[h]
+            r_re, r_im = self._r_re[r], self._r_im[r]
+            t_re, t_im = self._e_re[t], self._e_im[t]
+            grads["e_re"][h] += delta * (r_re * t_re + r_im * t_im)
+            grads["e_im"][h] += delta * (r_re * t_im - r_im * t_re)
+            grads["e_re"][t] += delta * (r_re * h_re - r_im * h_im)
+            grads["e_im"][t] += delta * (r_re * h_im + r_im * h_re)
+            grads["r_re"][r] += delta * (h_re * t_re + h_im * t_im)
+            grads["r_im"][r] += delta * (h_re * t_im - h_im * t_re)
+        count = max(1, len(examples))
+        self._e_re -= lr * (grads["e_re"] / count + self.regularization * self._e_re)
+        self._e_im -= lr * (grads["e_im"] / count + self.regularization * self._e_im)
+        self._r_re -= lr * (grads["r_re"] / count + self.regularization * self._r_re)
+        self._r_im -= lr * (grads["r_im"] / count + self.regularization * self._r_im)
+        return total_loss / count
+
+    # ------------------------------------------------------------- embeddings
+    @property
+    def entity_embeddings(self) -> np.ndarray:
+        return np.concatenate([self._e_re, self._e_im], axis=1)
+
+    @property
+    def relation_embeddings(self) -> np.ndarray:
+        return np.concatenate([self._r_re, self._r_im], axis=1)

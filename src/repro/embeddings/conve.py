@@ -1,0 +1,190 @@
+"""ConvE (Dettmers et al., 2018), used for reward shaping.
+
+The destination reward (Eq. 13 of the paper) falls back to a soft score
+``l(e_s, r_q, e_T)`` produced by a pretrained ConvE model whenever the agent
+stops at a wrong entity.  ConvE reshapes the head and relation embeddings
+into a 2-D grid, applies a small bank of convolutional filters, and projects
+the feature map back to embedding space where it is matched against the tail
+entity embedding.
+
+The convolution is implemented with an im2col gather followed by a matrix
+multiplication so the whole scorer runs on the autograd engine in
+``repro.nn``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.nn import Adam, Embedding, Linear, Module, Parameter, Tensor
+from repro.nn.init import xavier_uniform
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _grid_shape(embedding_dim: int) -> Tuple[int, int]:
+    """Pick a near-square 2-D reshape of the embedding vector."""
+    rows = int(np.floor(np.sqrt(embedding_dim)))
+    while embedding_dim % rows != 0:
+        rows -= 1
+    return rows, embedding_dim // rows
+
+
+class _ConvENetwork(Module):
+    """The trainable part of ConvE as an autograd module."""
+
+    def __init__(
+        self,
+        num_entities: int,
+        num_relations: int,
+        embedding_dim: int,
+        num_filters: int,
+        kernel_size: int,
+        rng: np.random.Generator,
+    ):
+        super().__init__()
+        self.embedding_dim = embedding_dim
+        self.num_filters = num_filters
+        self.kernel_size = kernel_size
+        self.entity_embeddings = Embedding(num_entities, embedding_dim, rng=rng)
+        self.relation_embeddings = Embedding(num_relations, embedding_dim, rng=rng)
+
+        rows, cols = _grid_shape(embedding_dim)
+        self.grid_rows = 2 * rows  # head grid stacked on top of relation grid
+        self.grid_cols = cols
+        if self.grid_rows < kernel_size or self.grid_cols < kernel_size:
+            raise ValueError(
+                f"embedding_dim {embedding_dim} too small for kernel size {kernel_size}"
+            )
+        out_rows = self.grid_rows - kernel_size + 1
+        out_cols = self.grid_cols - kernel_size + 1
+        self._patch_indices = self._build_patch_indices(out_rows, out_cols)
+        flat_dim = out_rows * out_cols * num_filters
+
+        self.filters = Parameter(
+            xavier_uniform((kernel_size * kernel_size, num_filters), rng), name="filters"
+        )
+        self.projection = Linear(flat_dim, embedding_dim, rng=rng)
+        self.entity_bias = Parameter(np.zeros(num_entities), name="entity_bias")
+
+    def _build_patch_indices(self, out_rows: int, out_cols: int) -> np.ndarray:
+        """Flat indices of every kernel patch in the stacked 2-D grid."""
+        indices = []
+        for row in range(out_rows):
+            for col in range(out_cols):
+                patch = []
+                for dr in range(self.kernel_size):
+                    for dc in range(self.kernel_size):
+                        patch.append((row + dr) * self.grid_cols + (col + dc))
+                indices.append(patch)
+        return np.asarray(indices, dtype=np.int64)
+
+    def hidden(self, head: int, relation: int) -> Tensor:
+        """The projected feature map for a ``(head, relation)`` query."""
+        head_vec = self.entity_embeddings(np.array(head))
+        rel_vec = self.relation_embeddings(np.array(relation))
+        from repro.nn.tensor import concat
+
+        grid = concat([head_vec, rel_vec], axis=-1)  # (2 * embedding_dim,)
+        patches = grid[self._patch_indices]  # (num_patches, k*k)
+        feature_map = patches.matmul(self.filters).relu()  # (num_patches, filters)
+        flat = feature_map.reshape(1, -1)
+        return self.projection(flat).relu()  # (1, embedding_dim)
+
+    def all_scores(self, head: int, relation: int) -> Tensor:
+        """Scores over every candidate tail entity (1-N scoring)."""
+        hidden = self.hidden(head, relation)  # (1, d)
+        scores = hidden.matmul(self.entity_embeddings.weight.T)  # (1, num_entities)
+        return (scores + self.entity_bias).reshape(-1)
+
+
+class ConvE(KGEmbeddingModel):
+    """ConvE scorer with 1-N BCE training, exposed through the embedding interface."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        embedding_dim: int = 32,
+        num_filters: int = 4,
+        kernel_size: int = 3,
+        label_smoothing: float = 0.1,
+        rng: SeedLike = None,
+    ):
+        super().__init__(graph, embedding_dim)
+        rng = new_rng(rng)
+        self.label_smoothing = label_smoothing
+        self.network = _ConvENetwork(
+            num_entities=graph.num_entities,
+            num_relations=graph.num_relations,
+            embedding_dim=embedding_dim,
+            num_filters=num_filters,
+            kernel_size=kernel_size,
+            rng=rng,
+        )
+        self._optimizer = Adam(self.network.parameters(), lr=5e-3)
+
+    # ---------------------------------------------------------------- scoring
+    def score_triple(self, head: int, relation: int, tail: int) -> float:
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            scores = self.network.all_scores(head, relation)
+        return float(scores.data[tail])
+
+    def score_tails(self, head: int, relation: int) -> np.ndarray:
+        from repro.nn.tensor import no_grad
+
+        with no_grad():
+            scores = self.network.all_scores(head, relation)
+        return scores.data.copy()
+
+    def probability(self, head: int, relation: int, tail: int) -> float:
+        score = self.score_triple(head, relation, tail)
+        return float(1.0 / (1.0 + np.exp(-score)))
+
+    # --------------------------------------------------------------- training
+    def train_step(
+        self, positives: Sequence[Triple], negatives: Sequence[Triple], lr: float
+    ) -> float:
+        """1-N BCE update: for each positive query, all known tails are labels.
+
+        The paired ``negatives`` argument of the shared interface is accepted
+        but not needed — 1-N scoring already contrasts against every entity.
+        ``lr`` overrides the optimizer's learning rate for this step.
+        """
+        self._optimizer.lr = lr
+        total_loss = 0.0
+        seen_queries = set()
+        for positive in positives:
+            query = (positive.head, positive.relation)
+            if query in seen_queries:
+                continue
+            seen_queries.add(query)
+            targets = np.zeros(self.graph.num_entities)
+            for tail in self.graph.tails_for(*query):
+                targets[tail] = 1.0
+            targets = (1.0 - self.label_smoothing) * targets + self.label_smoothing / len(targets)
+
+            scores = self.network.all_scores(*query)
+            probs = scores.sigmoid().clip(1e-7, 1.0 - 1e-7)
+            target_tensor = Tensor(targets)
+            loss = -(
+                target_tensor * probs.log() + (1.0 - target_tensor) * (1.0 - probs).log()
+            ).mean()
+            self._optimizer.zero_grad()
+            loss.backward()
+            self._optimizer.step()
+            total_loss += loss.item()
+        return total_loss / max(1, len(seen_queries))
+
+    # ------------------------------------------------------------- embeddings
+    @property
+    def entity_embeddings(self) -> np.ndarray:
+        return self.network.entity_embeddings.weight.data
+
+    @property
+    def relation_embeddings(self) -> np.ndarray:
+        return self.network.relation_embeddings.weight.data

@@ -1,0 +1,83 @@
+"""DistMult (Yang et al., 2015): bilinear-diagonal scoring.
+
+Used as an additional single-hop reference point; the score of ``(h, r, t)``
+is ``sum(h * r * t)`` and training minimises a logistic loss over paired
+positive/negative triples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+
+
+class DistMult(KGEmbeddingModel):
+    """Diagonal bilinear model trained with logistic loss."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        embedding_dim: int = 32,
+        regularization: float = 1e-4,
+        rng: SeedLike = None,
+    ):
+        super().__init__(graph, embedding_dim)
+        self.regularization = regularization
+        rng = new_rng(rng)
+        scale = 1.0 / np.sqrt(embedding_dim)
+        self._entities = rng.normal(0.0, scale, size=(graph.num_entities, embedding_dim))
+        self._relations = rng.normal(0.0, scale, size=(graph.num_relations, embedding_dim))
+
+    def score_triple(self, head: int, relation: int, tail: int) -> float:
+        return float(
+            np.sum(self._entities[head] * self._relations[relation] * self._entities[tail])
+        )
+
+    def score_tails(self, head: int, relation: int) -> np.ndarray:
+        query = self._entities[head] * self._relations[relation]
+        return self._entities @ query
+
+    def score_heads(self, relation: int, tail: int) -> np.ndarray:
+        query = self._relations[relation] * self._entities[tail]
+        return self._entities @ query
+
+    def train_step(
+        self, positives: Sequence[Triple], negatives: Sequence[Triple], lr: float
+    ) -> float:
+        """Logistic-loss update; positives get label 1, negatives label 0."""
+        total_loss = 0.0
+        entity_grads = np.zeros_like(self._entities)
+        relation_grads = np.zeros_like(self._relations)
+        examples = [(t, 1.0) for t in positives] + [(t, 0.0) for t in negatives]
+        for triple, label in examples:
+            h = self._entities[triple.head]
+            r = self._relations[triple.relation]
+            t = self._entities[triple.tail]
+            score = float(np.sum(h * r * t))
+            prob = float(_sigmoid(np.array(score)))
+            total_loss += -(label * np.log(prob + 1e-12) + (1 - label) * np.log(1 - prob + 1e-12))
+            delta = prob - label
+            entity_grads[triple.head] += delta * r * t
+            relation_grads[triple.relation] += delta * h * t
+            entity_grads[triple.tail] += delta * h * r
+        count = max(1, len(examples))
+        self._entities -= lr * (entity_grads / count + self.regularization * self._entities)
+        self._relations -= lr * (relation_grads / count + self.regularization * self._relations)
+        return total_loss / count
+
+    @property
+    def entity_embeddings(self) -> np.ndarray:
+        return self._entities
+
+    @property
+    def relation_embeddings(self) -> np.ndarray:
+        return self._relations

@@ -1,0 +1,36 @@
+"""Filtered link-prediction evaluation for embedding models."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.utils.metrics import RankingResult, rank_of_target
+
+
+def evaluate_embedding_model(
+    model: KGEmbeddingModel,
+    test_triples: Sequence[Triple],
+    filter_graph: Optional[KnowledgeGraph] = None,
+    hits_at: Sequence[int] = (1, 5, 10),
+) -> Dict[str, float]:
+    """Filtered tail-prediction metrics of ``model`` over ``test_triples``.
+
+    For every test triple the model scores all entities as candidate tails;
+    other *known* correct tails (from ``filter_graph``, defaulting to the
+    model's training graph) are pushed below the gold answer before ranking,
+    which is the standard "filtered" protocol.
+    """
+    filter_graph = filter_graph or model.graph
+    result = RankingResult()
+    for triple in test_triples:
+        scores = np.asarray(model.score_tails(triple.head, triple.relation), dtype=np.float64)
+        known_tails = filter_graph.tails_for(triple.head, triple.relation)
+        for other in known_tails:
+            if other != triple.tail:
+                scores[other] = -np.inf
+        result.add(rank_of_target(scores, triple.tail))
+    return result.summary(hits_at=hits_at)

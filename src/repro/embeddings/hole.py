@@ -1,0 +1,110 @@
+"""HolE (Nickel et al., 2016): holographic embeddings via circular correlation.
+
+HolE scores a triple as ``r · (h ⋆ t)`` where ``⋆`` is circular correlation,
+which gives it the expressiveness of a bilinear model at the memory cost of a
+vector per relation.  The paper's related-work section cites it among the
+single-hop models that multi-modal reasoning methods were compared against.
+
+Circular correlation and its gradients are computed through the FFT:
+
+* ``ccorr(a, b) = ifft(conj(fft(a)) * fft(b)).real``
+* ``∂ score / ∂ h = ccorr(r, t)``
+* ``∂ score / ∂ r = ccorr(h, t)``
+* ``∂ score / ∂ t = cconv(h, r)`` (circular convolution)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.utils.rng import SeedLike, new_rng
+
+
+def circular_correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``ccorr(a, b)_k = Σ_i a_i b_{(i + k) mod d}`` computed via the FFT."""
+    return np.real(np.fft.ifft(np.conj(np.fft.fft(a)) * np.fft.fft(b)))
+
+
+def circular_convolution(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``cconv(a, b)_k = Σ_i a_i b_{(k - i) mod d}`` computed via the FFT."""
+    return np.real(np.fft.ifft(np.fft.fft(a) * np.fft.fft(b)))
+
+
+def _sigmoid(x: float) -> float:
+    return float(1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))))
+
+
+class HolE(KGEmbeddingModel):
+    """Holographic embeddings trained with logistic loss."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        embedding_dim: int = 32,
+        regularization: float = 1e-4,
+        rng: SeedLike = None,
+    ):
+        super().__init__(graph, embedding_dim)
+        self.regularization = regularization
+        rng = new_rng(rng)
+        scale = 1.0 / np.sqrt(embedding_dim)
+        self._entities = rng.normal(0.0, scale, size=(graph.num_entities, embedding_dim))
+        self._relations = rng.normal(0.0, scale, size=(graph.num_relations, embedding_dim))
+
+    # ---------------------------------------------------------------- scoring
+    def score_triple(self, head: int, relation: int, tail: int) -> float:
+        interaction = circular_correlation(self._entities[head], self._entities[tail])
+        return float(np.dot(self._relations[relation], interaction))
+
+    def score_tails(self, head: int, relation: int) -> np.ndarray:
+        # The coefficient of t_j in Σ_{i,k} r_k h_i t_{(i+k) mod d} is
+        # cconv(h, r)_j, so all tails can be scored with one matrix product.
+        query = circular_convolution(self._entities[head], self._relations[relation])
+        return self._entities @ query
+
+    def score_heads(self, relation: int, tail: int) -> np.ndarray:
+        # The coefficient of h_i in the same sum is ccorr(r, t)_i.
+        query = circular_correlation(self._relations[relation], self._entities[tail])
+        return self._entities @ query
+
+    # --------------------------------------------------------------- training
+    def train_step(
+        self, positives: Sequence[Triple], negatives: Sequence[Triple], lr: float
+    ) -> float:
+        """Logistic-loss update over paired positive/negative triples."""
+        total_loss = 0.0
+        entity_grads = np.zeros_like(self._entities)
+        relation_grads = np.zeros_like(self._relations)
+        examples = [(t, 1.0) for t in positives] + [(t, 0.0) for t in negatives]
+        for triple, label in examples:
+            h = self._entities[triple.head]
+            r = self._relations[triple.relation]
+            t = self._entities[triple.tail]
+            score = float(np.dot(r, circular_correlation(h, t)))
+            prob = _sigmoid(score)
+            total_loss += -(
+                label * np.log(prob + 1e-12) + (1 - label) * np.log(1 - prob + 1e-12)
+            )
+            delta = prob - label
+            entity_grads[triple.head] += delta * circular_correlation(r, t)
+            entity_grads[triple.tail] += delta * circular_convolution(h, r)
+            relation_grads[triple.relation] += delta * circular_correlation(h, t)
+        count = max(1, len(examples))
+        self._entities -= lr * (entity_grads / count + self.regularization * self._entities)
+        self._relations -= lr * (
+            relation_grads / count + self.regularization * self._relations
+        )
+        return total_loss / count
+
+    # ------------------------------------------------------------- embeddings
+    @property
+    def entity_embeddings(self) -> np.ndarray:
+        return self._entities
+
+    @property
+    def relation_embeddings(self) -> np.ndarray:
+        return self._relations

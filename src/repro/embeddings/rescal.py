@@ -1,0 +1,100 @@
+"""RESCAL (Nickel et al., 2011): full bilinear relational scoring.
+
+RESCAL represents every relation as a dense ``d × d`` matrix ``W_r`` and
+scores a triple as ``h^T W_r t``.  The paper lists it among the traditional
+single-hop models its multi-modal baselines were shown to outperform; it is
+included here as an additional reference point for the embedding evaluation
+utilities and as the most expressive member of the bilinear family
+(DistMult is its diagonal special case).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.utils.rng import SeedLike, new_rng
+
+
+def _sigmoid(x: float) -> float:
+    return float(1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))))
+
+
+class RESCAL(KGEmbeddingModel):
+    """Full bilinear model trained with logistic loss."""
+
+    def __init__(
+        self,
+        graph: KnowledgeGraph,
+        embedding_dim: int = 32,
+        regularization: float = 1e-4,
+        rng: SeedLike = None,
+    ):
+        super().__init__(graph, embedding_dim)
+        self.regularization = regularization
+        rng = new_rng(rng)
+        scale = 1.0 / np.sqrt(embedding_dim)
+        self._entities = rng.normal(0.0, scale, size=(graph.num_entities, embedding_dim))
+        self._relations = rng.normal(
+            0.0, scale, size=(graph.num_relations, embedding_dim, embedding_dim)
+        )
+
+    # ---------------------------------------------------------------- scoring
+    def score_triple(self, head: int, relation: int, tail: int) -> float:
+        return float(
+            self._entities[head] @ self._relations[relation] @ self._entities[tail]
+        )
+
+    def score_tails(self, head: int, relation: int) -> np.ndarray:
+        query = self._entities[head] @ self._relations[relation]
+        return self._entities @ query
+
+    def score_heads(self, relation: int, tail: int) -> np.ndarray:
+        query = self._relations[relation] @ self._entities[tail]
+        return self._entities @ query
+
+    # --------------------------------------------------------------- training
+    def train_step(
+        self, positives: Sequence[Triple], negatives: Sequence[Triple], lr: float
+    ) -> float:
+        """Logistic-loss update over paired positive/negative triples."""
+        total_loss = 0.0
+        entity_grads = np.zeros_like(self._entities)
+        relation_grads = np.zeros_like(self._relations)
+        examples = [(t, 1.0) for t in positives] + [(t, 0.0) for t in negatives]
+        for triple, label in examples:
+            h = self._entities[triple.head]
+            w = self._relations[triple.relation]
+            t = self._entities[triple.tail]
+            score = float(h @ w @ t)
+            prob = _sigmoid(score)
+            total_loss += -(
+                label * np.log(prob + 1e-12) + (1 - label) * np.log(1 - prob + 1e-12)
+            )
+            delta = prob - label
+            entity_grads[triple.head] += delta * (w @ t)
+            entity_grads[triple.tail] += delta * (w.T @ h)
+            relation_grads[triple.relation] += delta * np.outer(h, t)
+        count = max(1, len(examples))
+        self._entities -= lr * (entity_grads / count + self.regularization * self._entities)
+        self._relations -= lr * (
+            relation_grads / count + self.regularization * self._relations
+        )
+        return total_loss / count
+
+    # ------------------------------------------------------------- embeddings
+    @property
+    def entity_embeddings(self) -> np.ndarray:
+        return self._entities
+
+    @property
+    def relation_embeddings(self) -> np.ndarray:
+        """Relation matrices flattened to ``(num_relations, d*d)`` rows."""
+        return self._relations.reshape(self.graph.num_relations, -1)
+
+    def relation_matrix(self, relation: int) -> np.ndarray:
+        """The full ``d × d`` interaction matrix of one relation."""
+        return self._relations[relation]

@@ -1,0 +1,94 @@
+"""Shared training loop for the embedding models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.embeddings.base import KGEmbeddingModel
+from repro.kg.graph import Triple
+from repro.kg.sampling import NegativeSampler
+from repro.utils.logging import get_logger
+from repro.utils.rng import SeedLike, new_rng
+
+LOGGER = get_logger("embeddings.trainer")
+
+
+@dataclass
+class EmbeddingTrainingConfig:
+    """Hyper-parameters of the embedding pre-training stage."""
+
+    epochs: int = 30
+    batch_size: int = 64
+    learning_rate: float = 0.05
+    negatives_per_positive: int = 1
+    shuffle: bool = True
+    lr_decay: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ValueError("lr_decay must be in (0, 1]")
+
+
+@dataclass
+class EmbeddingTrainingResult:
+    """Loss trajectory of a pre-training run."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class EmbeddingTrainer:
+    """Trains any :class:`KGEmbeddingModel` with negative sampling."""
+
+    def __init__(
+        self,
+        model: KGEmbeddingModel,
+        config: Optional[EmbeddingTrainingConfig] = None,
+        rng: SeedLike = None,
+    ):
+        self.model = model
+        self.config = config or EmbeddingTrainingConfig()
+        self.rng = new_rng(self.config.seed if rng is None else rng)
+        self.sampler = NegativeSampler(model.graph, rng=self.rng)
+
+    def fit(self, triples: Optional[Sequence[Triple]] = None, verbose: bool = False) -> EmbeddingTrainingResult:
+        """Train on ``triples`` (defaults to every triple in the model's graph)."""
+        triples = list(triples) if triples is not None else self.model.graph.triples()
+        if not triples:
+            raise ValueError("cannot train on an empty triple list")
+        result = EmbeddingTrainingResult()
+        lr = self.config.learning_rate
+        for epoch in range(self.config.epochs):
+            order = (
+                self.rng.permutation(len(triples)) if self.config.shuffle else np.arange(len(triples))
+            )
+            epoch_loss = 0.0
+            num_batches = 0
+            for start in range(0, len(triples), self.config.batch_size):
+                batch = [triples[i] for i in order[start : start + self.config.batch_size]]
+                pairs = self.sampler.corrupt_batch(
+                    batch, negatives_per_positive=self.config.negatives_per_positive
+                )
+                positives = [p for p, _ in pairs]
+                negatives = [n for _, n in pairs]
+                epoch_loss += self.model.train_step(positives, negatives, lr)
+                num_batches += 1
+            mean_loss = epoch_loss / max(1, num_batches)
+            result.epoch_losses.append(mean_loss)
+            if verbose:
+                LOGGER.info("epoch %d/%d loss %.4f", epoch + 1, self.config.epochs, mean_loss)
+            lr *= self.config.lr_decay
+        return result

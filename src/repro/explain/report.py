@@ -1,0 +1,120 @@
+"""Explanation reports: explanations + mined rules in one exportable object.
+
+The report is what the ``repro explain`` CLI command and the
+``examples/explain_predictions.py`` example print: a per-query provenance
+section, the rules the agent relies on, and summary statistics (accuracy of
+the explained queries, hop distribution, rule coverage).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.explain.explainer import Explanation
+from repro.explain.rules import RelationRule, aggregate_rules, rule_coverage
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class ExplanationReport:
+    """A bundle of explanations and the rules mined from them."""
+
+    explanations: List[Explanation] = field(default_factory=list)
+    rules: List[RelationRule] = field(default_factory=list)
+    model_description: str = ""
+
+    # ------------------------------------------------------------- statistics
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics over the explained queries."""
+        total = len(self.explanations)
+        correct = sum(1 for e in self.explanations if e.is_correct)
+        hop_counter: Counter = Counter()
+        for explanation in self.explanations:
+            best = explanation.best_path()
+            if best is not None:
+                hop_counter[best.hops] += 1
+        summary: Dict[str, float] = {
+            "num_queries": float(total),
+            "num_correct": float(correct),
+            "accuracy": correct / total if total else 0.0,
+        }
+        for hops, count in sorted(hop_counter.items()):
+            summary[f"{hops}_hop_predictions"] = float(count)
+        summary.update(rule_coverage(self.rules))
+        return summary
+
+    # -------------------------------------------------------------- rendering
+    def render_text(
+        self, max_explanations: Optional[int] = 10, max_rules: Optional[int] = 15
+    ) -> str:
+        """A complete plain-text report."""
+        lines: List[str] = []
+        if self.model_description:
+            lines.append(f"model: {self.model_description}")
+        summary = self.summary()
+        lines.append(
+            "explained {num} queries, {correct} correct (accuracy {acc:.2%})".format(
+                num=int(summary["num_queries"]),
+                correct=int(summary["num_correct"]),
+                acc=summary["accuracy"],
+            )
+        )
+        lines.append("")
+        lines.append("== per-query explanations ==")
+        shown = self.explanations
+        if max_explanations is not None:
+            shown = shown[:max_explanations]
+        for explanation in shown:
+            lines.append(explanation.render())
+            lines.append("")
+        lines.append("== mined rules ==")
+        rules = self.rules
+        if max_rules is not None:
+            rules = rules[:max_rules]
+        if not rules:
+            lines.append("(no rules: no explained path had any real hop)")
+        for rule in rules:
+            lines.append(rule.render())
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model": self.model_description,
+            "summary": self.summary(),
+            "explanations": [e.to_dict() for e in self.explanations],
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    # ----------------------------------------------------------------- export
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: PathLike) -> Path:
+        """Write the report as JSON (``.json``) or text (any other suffix)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.suffix == ".json":
+            path.write_text(self.to_json(), encoding="utf-8")
+        else:
+            path.write_text(self.render_text(max_explanations=None, max_rules=None),
+                            encoding="utf-8")
+        return path
+
+
+def build_report(
+    explanations: Sequence[Explanation],
+    min_support: int = 1,
+    model_description: str = "",
+) -> ExplanationReport:
+    """Mine rules from ``explanations`` and assemble the report."""
+    rules = aggregate_rules(explanations, min_support=min_support)
+    return ExplanationReport(
+        explanations=list(explanations),
+        rules=rules,
+        model_description=model_description,
+    )

@@ -1,0 +1,132 @@
+"""Mining symbolic rules from the paths a trained agent actually walks.
+
+Each correct multi-hop prediction instantiates a Horn-style rule of the form
+
+    query_relation(X, Y)  <-  r1(X, Z1) ∧ r2(Z1, Z2) ∧ ... ∧ rk(Z_{k-1}, Y)
+
+whose body is the relation signature of the reasoning path.  Aggregating the
+signatures over many explained queries yields the rules the agent has learnt
+to rely on, together with how often each rule fires (*support*) and how often
+it leads to the gold answer (*confidence*).  This is the same kind of artefact
+NeuralLP produces directly, which makes the mined rules a useful bridge for
+comparing the RL agent's behaviour with the rule-based baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.explain.explainer import Explanation
+
+
+@dataclass(frozen=True)
+class RelationRule:
+    """One aggregated inference rule."""
+
+    head: str
+    body: Tuple[str, ...]
+    support: int
+    correct_support: int
+
+    @property
+    def confidence(self) -> float:
+        """Fraction of firings whose top prediction was the gold answer."""
+        if self.support == 0:
+            return 0.0
+        return self.correct_support / self.support
+
+    @property
+    def length(self) -> int:
+        return len(self.body)
+
+    def render(self) -> str:
+        body = " ∧ ".join(self.body) if self.body else "(stay at source)"
+        return (
+            f"{self.head}(X, Y) <- {body}  "
+            f"[support={self.support}, confidence={self.confidence:.2f}]"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "head": self.head,
+            "body": list(self.body),
+            "support": self.support,
+            "correct_support": self.correct_support,
+            "confidence": self.confidence,
+        }
+
+
+def aggregate_rules(
+    explanations: Iterable[Explanation],
+    min_support: int = 1,
+    use_best_path_only: bool = True,
+) -> List[RelationRule]:
+    """Aggregate the relation signatures of explained queries into rules.
+
+    With ``use_best_path_only`` (the default) only the top-ranked path of each
+    explanation contributes, which measures what the agent actually decided;
+    otherwise every explained path contributes, which measures what the beam
+    explored.  Rules are returned sorted by (support, confidence) descending.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+
+    support: Dict[Tuple[str, Tuple[str, ...]], int] = defaultdict(int)
+    correct: Dict[Tuple[str, Tuple[str, ...]], int] = defaultdict(int)
+    for explanation in explanations:
+        paths = (
+            [explanation.best_path()] if use_best_path_only else list(explanation.paths)
+        )
+        for path in paths:
+            if path is None:
+                continue
+            key = (explanation.query_relation_name, path.relation_signature())
+            support[key] += 1
+            if path.reached_entity_id == explanation.query.answer:
+                correct[key] += 1
+
+    rules = [
+        RelationRule(
+            head=head,
+            body=body,
+            support=count,
+            correct_support=correct.get((head, body), 0),
+        )
+        for (head, body), count in support.items()
+        if count >= min_support
+    ]
+    rules.sort(key=lambda rule: (rule.support, rule.confidence), reverse=True)
+    return rules
+
+
+def rules_for_relation(
+    rules: Sequence[RelationRule], relation: str, top_k: Optional[int] = None
+) -> List[RelationRule]:
+    """The subset of ``rules`` whose head is ``relation`` (best first)."""
+    matching = [rule for rule in rules if rule.head == relation]
+    if top_k is not None:
+        matching = matching[:top_k]
+    return matching
+
+
+def rule_coverage(rules: Sequence[RelationRule]) -> Dict[str, float]:
+    """Summary statistics of a mined rule set.
+
+    Returns the number of rules, the number of distinct head relations, the
+    total support, and the support-weighted mean confidence — the quantities
+    the explanation report prints.
+    """
+    total_support = sum(rule.support for rule in rules)
+    weighted_confidence = 0.0
+    if total_support:
+        weighted_confidence = (
+            sum(rule.confidence * rule.support for rule in rules) / total_support
+        )
+    return {
+        "num_rules": float(len(rules)),
+        "num_head_relations": float(len({rule.head for rule in rules})),
+        "total_support": float(total_support),
+        "mean_confidence": weighted_confidence,
+    }

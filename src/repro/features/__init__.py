@@ -1,0 +1,14 @@
+"""Multi-modal auxiliary feature extraction (images, text, combined stores)."""
+
+from repro.features.image import SyntheticImageEncoder
+from repro.features.text import TextFeatureEncoder, describe_entity, tokenize
+from repro.features.extraction import FeatureStore, ModalityConfig
+
+__all__ = [
+    "SyntheticImageEncoder",
+    "TextFeatureEncoder",
+    "describe_entity",
+    "tokenize",
+    "FeatureStore",
+    "ModalityConfig",
+]

@@ -1,0 +1,178 @@
+"""Feature extraction glue: assembling structural and multi-modal features.
+
+Section IV-B1 of the paper defines three groups of features:
+
+* structural features ``Y`` — TransE embeddings of entities/relations plus an
+  LSTM encoding of the reasoning-path history (the LSTM lives in
+  ``repro.rl.history``; this module provides the static embeddings);
+* image features ``f_i`` — VGG-style vectors (here the synthetic encoder's
+  output stored on the MKG);
+* text features ``f_t`` — word2vec-style vectors (likewise stored on the MKG).
+
+A :class:`FeatureStore` packages these matrices for the fusion network and
+the RL agent, and a :class:`ModalityConfig` selects which modalities are
+visible — the switch used by the OSKGR / STKGR / SIKGR ablations (Table V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kg.multimodal import MultiModalKnowledgeGraph
+
+
+@dataclass(frozen=True)
+class ModalityConfig:
+    """Which auxiliary modalities the model is allowed to see."""
+
+    use_image: bool = True
+    use_text: bool = True
+
+    @property
+    def label(self) -> str:
+        if self.use_image and self.use_text:
+            return "structure+image+text"
+        if self.use_image:
+            return "structure+image"
+        if self.use_text:
+            return "structure+text"
+        return "structure-only"
+
+    @classmethod
+    def full(cls) -> "ModalityConfig":
+        return cls(use_image=True, use_text=True)
+
+    @classmethod
+    def structure_only(cls) -> "ModalityConfig":
+        return cls(use_image=False, use_text=False)
+
+    @classmethod
+    def no_image(cls) -> "ModalityConfig":
+        """STKGR: structure + text, image features removed."""
+        return cls(use_image=False, use_text=True)
+
+    @classmethod
+    def no_text(cls) -> "ModalityConfig":
+        """SIKGR: structure + image, text features removed."""
+        return cls(use_image=True, use_text=False)
+
+
+class FeatureStore:
+    """Per-entity structural and auxiliary feature matrices.
+
+    Structural embeddings are injected after TransE pre-training via
+    :meth:`set_structural_embeddings`; before that the store falls back to
+    small random vectors so the pipeline remains usable in unit tests.
+    """
+
+    def __init__(
+        self,
+        mkg: MultiModalKnowledgeGraph,
+        structural_dim: int,
+        modalities: Optional[ModalityConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if structural_dim <= 0:
+            raise ValueError("structural_dim must be positive")
+        self.mkg = mkg
+        self.structural_dim = structural_dim
+        self.modalities = modalities or ModalityConfig.full()
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(structural_dim)
+        self._entity_embeddings = rng.uniform(
+            -scale, scale, size=(mkg.num_entities, structural_dim)
+        )
+        self._relation_embeddings = rng.uniform(
+            -scale, scale, size=(mkg.num_relations, structural_dim)
+        )
+        self._image_matrix = mkg.image_matrix()
+        self._text_matrix = mkg.text_matrix()
+        self._pretrained = False
+
+    # -------------------------------------------------------------- structural
+    def set_structural_embeddings(
+        self, entity_embeddings: np.ndarray, relation_embeddings: np.ndarray
+    ) -> None:
+        """Install pretrained (e.g. TransE) structural embeddings."""
+        entity_embeddings = np.asarray(entity_embeddings, dtype=np.float64)
+        relation_embeddings = np.asarray(relation_embeddings, dtype=np.float64)
+        expected_e = (self.mkg.num_entities, self.structural_dim)
+        expected_r = (self.mkg.num_relations, self.structural_dim)
+        if entity_embeddings.shape != expected_e:
+            raise ValueError(f"entity embeddings shape {entity_embeddings.shape} != {expected_e}")
+        if relation_embeddings.shape != expected_r:
+            raise ValueError(
+                f"relation embeddings shape {relation_embeddings.shape} != {expected_r}"
+            )
+        self._entity_embeddings = entity_embeddings
+        self._relation_embeddings = relation_embeddings
+        self._pretrained = True
+
+    @property
+    def has_pretrained_structure(self) -> bool:
+        return self._pretrained
+
+    def entity_embedding(self, entity_id: int) -> np.ndarray:
+        return self._entity_embeddings[entity_id]
+
+    def relation_embedding(self, relation_id: int) -> np.ndarray:
+        return self._relation_embeddings[relation_id]
+
+    @property
+    def entity_embeddings(self) -> np.ndarray:
+        return self._entity_embeddings
+
+    @property
+    def relation_embeddings(self) -> np.ndarray:
+        return self._relation_embeddings
+
+    # --------------------------------------------------------------- auxiliary
+    @property
+    def image_dim(self) -> int:
+        return self._image_matrix.shape[1]
+
+    @property
+    def text_dim(self) -> int:
+        return self._text_matrix.shape[1]
+
+    def image_feature(self, entity_id: int) -> np.ndarray:
+        """Image feature ``f_i``; zeros when the image modality is disabled."""
+        if not self.modalities.use_image:
+            return np.zeros(self.image_dim)
+        return self._image_matrix[entity_id]
+
+    def text_feature(self, entity_id: int) -> np.ndarray:
+        """Text feature ``f_t``; zeros when the text modality is disabled."""
+        if not self.modalities.use_text:
+            return np.zeros(self.text_dim)
+        return self._text_matrix[entity_id]
+
+    def auxiliary_features(self, entity_id: int) -> np.ndarray:
+        """Raw concatenation ``[f_t ; f_i]`` before the learned projections of Eq. (3)."""
+        return np.concatenate([self.text_feature(entity_id), self.image_feature(entity_id)])
+
+    @property
+    def auxiliary_dim(self) -> int:
+        return self.text_dim + self.image_dim
+
+    def with_modalities(self, modalities: ModalityConfig) -> "FeatureStore":
+        """A shallow copy of this store restricted to ``modalities``.
+
+        The structural and auxiliary matrices are shared (they are read-only
+        from the consumer's perspective); only the modality switch differs.
+        Used by the ablation factory to derive OSKGR/STKGR/SIKGR stores from a
+        single pre-trained store.
+        """
+        clone = FeatureStore.__new__(FeatureStore)
+        clone.mkg = self.mkg
+        clone.structural_dim = self.structural_dim
+        clone.modalities = modalities
+        clone._entity_embeddings = self._entity_embeddings
+        clone._relation_embeddings = self._relation_embeddings
+        clone._image_matrix = self._image_matrix
+        clone._text_matrix = self._text_matrix
+        clone._pretrained = self._pretrained
+        return clone

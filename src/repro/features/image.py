@@ -1,0 +1,98 @@
+"""Synthetic visual feature extraction.
+
+The paper extracts a vector from the last fully-connected layer of a VGG
+model for each of an entity's crawled images (10 on WN9-IMG-TXT, 100 on
+FB-IMG-TXT) and uses their aggregate as the entity's image feature.  With no
+images and no pretrained CNN available offline, this module simulates the
+*output* of that pipeline:
+
+* a signal component — a fixed random projection of the entity's latent
+  semantic vector, so that visually similar (i.e. semantically related)
+  entities get similar image features;
+* a redundancy component — multiple per-image samples of the same signal
+  with small perturbations, averaged, mirroring how an entity's crawled
+  images are near-duplicates of one another (the "redundant noise" the paper
+  discusses);
+* an irrelevant component — dimensions of pure noise shared across entities
+  (the "black background" analogue) that a good fusion module should learn to
+  down-weight.
+
+The informativeness knob interpolates between pure signal (1.0) and pure
+noise (0.0).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, new_rng, stable_hash
+
+
+class SyntheticImageEncoder:
+    """Produces entity image features with controllable signal-to-noise ratio."""
+
+    def __init__(
+        self,
+        latent_dim: int,
+        feature_dim: int,
+        informativeness: float = 0.8,
+        irrelevant_dim: int = 8,
+        images_per_entity: int = 10,
+        rng: SeedLike = None,
+    ):
+        if latent_dim <= 0 or feature_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        if not 0.0 <= informativeness <= 1.0:
+            raise ValueError("informativeness must be in [0, 1]")
+        if irrelevant_dim < 0 or irrelevant_dim >= feature_dim:
+            raise ValueError("irrelevant_dim must be in [0, feature_dim)")
+        self.latent_dim = latent_dim
+        self.feature_dim = feature_dim
+        self.informativeness = informativeness
+        self.irrelevant_dim = irrelevant_dim
+        self.images_per_entity = max(1, images_per_entity)
+        self._rng = new_rng(rng)
+        signal_dim = feature_dim - irrelevant_dim
+        # Fixed random projection playing the role of the frozen VGG weights.
+        self._projection = self._rng.normal(
+            0.0, 1.0 / np.sqrt(latent_dim), size=(latent_dim, signal_dim)
+        )
+        # A global noise pattern shared by all entities (e.g. background statistics).
+        self._background = self._rng.normal(0.0, 1.0, size=irrelevant_dim)
+
+    def encode(self, entity_id: int, latent: np.ndarray) -> np.ndarray:
+        """Aggregate image feature for one entity.
+
+        The per-entity RNG is derived from ``entity_id`` so repeated calls give
+        identical features (the dataset is static once generated).
+        """
+        latent = np.asarray(latent, dtype=np.float64)
+        if latent.shape != (self.latent_dim,):
+            raise ValueError(f"expected latent of shape ({self.latent_dim},), got {latent.shape}")
+        entity_rng = np.random.default_rng(stable_hash(f"img::{entity_id}"))
+
+        signal = latent @ self._projection
+        per_image = signal + entity_rng.normal(
+            0.0, 0.15, size=(self.images_per_entity, signal.shape[0])
+        )
+        aggregated = per_image.mean(axis=0)
+
+        noise = entity_rng.normal(0.0, 1.0, size=aggregated.shape[0])
+        alpha = self.informativeness
+        informative_part = alpha * aggregated + (1.0 - alpha) * noise
+
+        if self.irrelevant_dim:
+            background = self._background + entity_rng.normal(0.0, 0.05, size=self.irrelevant_dim)
+            return np.concatenate([informative_part, background])
+        return informative_part
+
+    def encode_matrix(self, latents: np.ndarray) -> np.ndarray:
+        """Encode every row of ``latents``; row ``i`` is entity ``i``'s feature."""
+        latents = np.asarray(latents, dtype=np.float64)
+        return np.stack([self.encode(i, latents[i]) for i in range(latents.shape[0])])
+
+    @property
+    def signal_dim(self) -> int:
+        return self.feature_dim - self.irrelevant_dim

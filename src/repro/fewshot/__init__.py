@@ -1,0 +1,34 @@
+"""Few-shot relation reasoning on multi-modal knowledge graphs.
+
+The paper's conclusion names this as future work: *"How to infer missing
+triplets over few-shot relations on MKGs, still awaits further exploration."*
+This package implements that extension on top of the MMKGR pipeline, following
+the standard few-shot KG reasoning protocol (NELL-One / FIRE style):
+
+* :mod:`repro.fewshot.splits` — partition relations into frequent *background*
+  relations and rare *few-shot* relations, and build the background graph the
+  agent is allowed to walk;
+* :mod:`repro.fewshot.episodes` — sample per-relation tasks, each with a
+  K-shot support set and a held-out query set;
+* :mod:`repro.fewshot.adaptation` — adapt a trained agent to a task by adding
+  the support triples to its environment and running a handful of imitation
+  steps on them, without touching the original model;
+* :mod:`repro.fewshot.evaluation` — the end-to-end protocol producing
+  per-relation and overall metrics, with and without adaptation.
+"""
+
+from repro.fewshot.splits import FewShotSplit, build_fewshot_split
+from repro.fewshot.episodes import EpisodeSampler, FewShotTask
+from repro.fewshot.adaptation import AdaptationConfig, FewShotAdapter
+from repro.fewshot.evaluation import FewShotResult, evaluate_fewshot
+
+__all__ = [
+    "FewShotSplit",
+    "build_fewshot_split",
+    "FewShotTask",
+    "EpisodeSampler",
+    "AdaptationConfig",
+    "FewShotAdapter",
+    "FewShotResult",
+    "evaluate_fewshot",
+]

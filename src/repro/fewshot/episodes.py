@@ -1,0 +1,131 @@
+"""Few-shot tasks and episode sampling.
+
+A *task* is one few-shot relation with a K-shot support set (facts revealed to
+the model) and a query set (facts the model must infer).  The sampler draws
+tasks from a :class:`~repro.fewshot.splits.FewShotSplit`, either exhaustively
+(one task per few-shot relation, the evaluation protocol) or randomly (for
+episode-style adaptation experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.kg.graph import Triple
+from repro.fewshot.splits import FewShotSplit
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class FewShotTask:
+    """One few-shot relation with its support and query facts."""
+
+    relation_id: int
+    relation_name: str
+    support: List[Triple] = field(default_factory=list)
+    query: List[Triple] = field(default_factory=list)
+
+    @property
+    def support_size(self) -> int:
+        return len(self.support)
+
+    @property
+    def query_size(self) -> int:
+        return len(self.query)
+
+    def __post_init__(self) -> None:
+        support_keys = {t.as_tuple() for t in self.support}
+        for triple in self.query:
+            if triple.as_tuple() in support_keys:
+                raise ValueError(
+                    "support and query sets overlap for relation "
+                    f"{self.relation_name!r}"
+                )
+            if triple.relation != self.relation_id:
+                raise ValueError("every query triple must use the task's relation")
+        for triple in self.support:
+            if triple.relation != self.relation_id:
+                raise ValueError("every support triple must use the task's relation")
+
+
+class EpisodeSampler:
+    """Builds :class:`FewShotTask` objects from a few-shot split."""
+
+    def __init__(
+        self,
+        split: FewShotSplit,
+        support_size: int = 3,
+        max_query_size: Optional[int] = None,
+        rng: SeedLike = None,
+    ):
+        if support_size < 1:
+            raise ValueError("support_size must be >= 1")
+        if max_query_size is not None and max_query_size < 1:
+            raise ValueError("max_query_size must be >= 1 when given")
+        self.split = split
+        self.support_size = support_size
+        self.max_query_size = max_query_size
+        self.rng = new_rng(rng)
+
+    # ------------------------------------------------------------------ tasks
+    def task_for_relation(self, relation_id: int) -> FewShotTask:
+        """The deterministic task of one relation: first K facts are support."""
+        triples = self.split.fewshot_triples(relation_id)
+        if len(triples) <= self.support_size:
+            raise ValueError(
+                f"relation {relation_id} has only {len(triples)} facts; "
+                f"cannot carve out {self.support_size} support triples and leave queries"
+            )
+        support = triples[: self.support_size]
+        query = triples[self.support_size :]
+        if self.max_query_size is not None:
+            query = query[: self.max_query_size]
+        return FewShotTask(
+            relation_id=relation_id,
+            relation_name=self.split.relation_name(relation_id),
+            support=support,
+            query=query,
+        )
+
+    def all_tasks(self) -> List[FewShotTask]:
+        """One task per few-shot relation that has enough facts (the eval protocol)."""
+        tasks = []
+        for relation in self.split.fewshot_relations:
+            try:
+                tasks.append(self.task_for_relation(relation))
+            except ValueError:
+                continue
+        return tasks
+
+    def sample_task(self) -> FewShotTask:
+        """A random task: random relation, random K-shot support set."""
+        eligible = [
+            relation
+            for relation in self.split.fewshot_relations
+            if len(self.split.fewshot_triples(relation)) > self.support_size
+        ]
+        if not eligible:
+            raise ValueError("no few-shot relation has enough facts for an episode")
+        relation = int(self.rng.choice(eligible))
+        triples = self.split.fewshot_triples(relation)
+        order = self.rng.permutation(len(triples))
+        shuffled = [triples[i] for i in order]
+        support = shuffled[: self.support_size]
+        query = shuffled[self.support_size :]
+        if self.max_query_size is not None:
+            query = query[: self.max_query_size]
+        return FewShotTask(
+            relation_id=relation,
+            relation_name=self.split.relation_name(relation),
+            support=support,
+            query=query,
+        )
+
+    def sample_tasks(self, count: int) -> List[FewShotTask]:
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return [self.sample_task() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[FewShotTask]:
+        return iter(self.all_tasks())

@@ -1,0 +1,154 @@
+"""Few-shot relation splits.
+
+Following the protocol of NELL-One and the FIRE baseline, relations are
+partitioned by frequency: relations with many facts become *background*
+relations whose triples the agent may freely walk, and rare relations become
+*few-shot* relations.  For every few-shot relation a handful of its facts form
+the support pool (they are revealed to the model at adaptation time) and the
+rest form the query set the protocol evaluates on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.kg.graph import KnowledgeGraph, Triple, is_inverse_relation, NO_OP_RELATION
+from repro.kg.datasets import MKGDataset
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class FewShotSplit:
+    """The partition of a graph's relations into background and few-shot sets."""
+
+    background_relations: List[int]
+    fewshot_relations: List[int]
+    background_triples: List[Triple]
+    triples_by_relation: Dict[int, List[Triple]] = field(default_factory=dict)
+    graph: Optional[KnowledgeGraph] = None
+
+    @property
+    def num_fewshot_relations(self) -> int:
+        return len(self.fewshot_relations)
+
+    def relation_name(self, relation_id: int) -> str:
+        if self.graph is None:
+            return str(relation_id)
+        return self.graph.relations.symbol(relation_id)
+
+    def fewshot_triples(self, relation_id: int) -> List[Triple]:
+        """All facts of one few-shot relation (support pool + query candidates)."""
+        if relation_id not in self.triples_by_relation:
+            raise KeyError(f"relation {relation_id} is not a few-shot relation")
+        return list(self.triples_by_relation[relation_id])
+
+    def background_graph(self) -> KnowledgeGraph:
+        """The graph of background facts the agent may walk before adaptation."""
+        if self.graph is None:
+            raise ValueError("this split was built without a reference graph")
+        return self.graph.subgraph(self.background_triples)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "background_relations": float(len(self.background_relations)),
+            "fewshot_relations": float(len(self.fewshot_relations)),
+            "background_triples": float(len(self.background_triples)),
+            "fewshot_triples": float(
+                sum(len(t) for t in self.triples_by_relation.values())
+            ),
+        }
+
+
+def build_fewshot_split(
+    dataset: MKGDataset,
+    max_relation_frequency: Optional[int] = None,
+    fewshot_fraction: float = 0.25,
+    min_triples_per_relation: int = 4,
+    rng: SeedLike = None,
+) -> FewShotSplit:
+    """Partition the dataset's relations into background and few-shot relations.
+
+    Few-shot relations are chosen among the *least frequent* forward relations:
+    either every relation with at most ``max_relation_frequency`` facts, or —
+    when no explicit threshold is given — the rarest ``fewshot_fraction`` of
+    relations.  Relations with fewer than ``min_triples_per_relation`` facts
+    are kept in the background (there would be nothing left to query after
+    carving out a support set).
+    """
+    if not 0.0 < fewshot_fraction < 1.0:
+        raise ValueError("fewshot_fraction must be in (0, 1)")
+    if min_triples_per_relation < 2:
+        raise ValueError("min_triples_per_relation must be >= 2")
+
+    graph = dataset.graph
+    by_relation: Dict[int, List[Triple]] = defaultdict(list)
+    for triple in graph.triples():
+        by_relation[triple.relation].append(triple)
+
+    eligible = []
+    for relation, triples in by_relation.items():
+        name = graph.relations.symbol(relation)
+        if name == NO_OP_RELATION or is_inverse_relation(name):
+            continue
+        if len(triples) < min_triples_per_relation:
+            continue
+        eligible.append((relation, len(triples)))
+    if not eligible:
+        raise ValueError("no relation has enough facts to form a few-shot task")
+
+    eligible.sort(key=lambda item: (item[1], item[0]))
+    if max_relation_frequency is not None:
+        fewshot = [rel for rel, count in eligible if count <= max_relation_frequency]
+    else:
+        count = max(1, int(round(fewshot_fraction * len(eligible))))
+        fewshot = [rel for rel, _ in eligible[:count]]
+    if len(fewshot) == len(eligible):
+        # Keep at least one background relation so a background graph exists.
+        fewshot = fewshot[:-1]
+    if not fewshot:
+        raise ValueError(
+            "the frequency threshold selected no few-shot relation; "
+            "raise max_relation_frequency or fewshot_fraction"
+        )
+
+    fewshot_set = set(fewshot)
+    background_triples = [
+        triple for triple in graph.triples() if triple.relation not in fewshot_set
+    ]
+    background_relations = sorted(
+        {triple.relation for triple in background_triples}
+    )
+    # A deterministic shuffle of each few-shot relation's facts so that support
+    # sets drawn later are not biased by insertion order.
+    generator = new_rng(rng)
+    triples_by_relation: Dict[int, List[Triple]] = {}
+    for relation in fewshot:
+        triples = list(by_relation[relation])
+        order = generator.permutation(len(triples))
+        triples_by_relation[relation] = [triples[i] for i in order]
+
+    return FewShotSplit(
+        background_relations=background_relations,
+        fewshot_relations=sorted(fewshot),
+        background_triples=background_triples,
+        triples_by_relation=triples_by_relation,
+        graph=graph,
+    )
+
+
+def relation_frequency_profile(graph: KnowledgeGraph) -> List[Dict[str, object]]:
+    """Per-relation frequency records (name, id, count), rarest first.
+
+    A convenience for deciding few-shot thresholds and for the CLI's dataset
+    statistics output.
+    """
+    records = []
+    for relation, count in graph.relation_frequencies().items():
+        name = graph.relations.symbol(relation)
+        if name == NO_OP_RELATION or is_inverse_relation(name):
+            continue
+        records.append({"relation": name, "relation_id": relation, "count": count})
+    records.sort(key=lambda record: (record["count"], record["relation_id"]))
+    return records

@@ -1,0 +1,22 @@
+"""The unified gate-attention network and its ablation / baseline variants."""
+
+from repro.fusion.attention_fusion import AttentionFusionModule
+from repro.fusion.irrelevance_filtration import IrrelevanceFiltrationModule
+from repro.fusion.gate_attention import FusionInputs, UnifiedGateAttentionNetwork
+from repro.fusion.variants import (
+    AttentionOnlyFuser,
+    ConcatenationFuser,
+    FusionVariant,
+    build_fuser,
+)
+
+__all__ = [
+    "AttentionFusionModule",
+    "IrrelevanceFiltrationModule",
+    "FusionInputs",
+    "UnifiedGateAttentionNetwork",
+    "FusionVariant",
+    "ConcatenationFuser",
+    "AttentionOnlyFuser",
+    "build_fuser",
+]

@@ -1,0 +1,167 @@
+"""The unified gate-attention network (Section IV-B).
+
+Pipeline: feature extraction → attention-fusion module → irrelevance-
+filtration module → multi-modal complementary features ``Z`` consumed by the
+complementary feature-aware RL policy.
+
+Feature slots
+-------------
+The paper stacks the structural features of the elements involved in the
+current reasoning state into ``Y`` and the corresponding auxiliary features
+into ``X`` (both with ``m`` rows).  This implementation uses three slots:
+
+1. the source entity ``e_s`` of the query,
+2. the entity ``e_t`` currently visited by the agent,
+3. the query context (the query relation combined with the path history).
+
+Each slot pairs a structural row ``y_i = [e; h_t; r_q]``-style information
+with the auxiliary row ``x_i = [f_t W_t ; f_i W_i]`` of the corresponding
+entity (Eq. 3); the query-context slot reuses the source entity's auxiliary
+features, mirroring how the paper conditions fusion on the triple query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.fusion.attention_fusion import AttentionFusionConfig, AttentionFusionModule
+from repro.fusion.irrelevance_filtration import IrrelevanceFiltrationModule
+from repro.nn import Linear, Module
+from repro.nn.tensor import Tensor, concat, stack
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class FusionInputs:
+    """Raw per-step features handed to a fuser.
+
+    Entity/relation/modality features are 1-D NumPy vectors (they come from
+    static lookup tables); ``history`` is the LSTM encoding of the path walked
+    so far and stays an autograd :class:`Tensor` so the history encoder is
+    trained end-to-end with the policy.
+    """
+
+    source_embedding: np.ndarray
+    current_embedding: np.ndarray
+    query_relation_embedding: np.ndarray
+    history: Tensor
+    source_text: np.ndarray
+    source_image: np.ndarray
+    current_text: np.ndarray
+    current_image: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.history, Tensor):
+            self.history = Tensor(np.asarray(self.history, dtype=np.float64))
+
+    def history_row(self) -> Tensor:
+        """The history encoding as a ``(1, hidden_dim)`` tensor."""
+        return self.history.reshape(1, -1)
+
+    def structural_dim(self) -> int:
+        return (
+            self.source_embedding.shape[0]
+            + self.history.shape[-1]
+            + self.query_relation_embedding.shape[0]
+        )
+
+
+class UnifiedGateAttentionNetwork(Module):
+    """Generates multi-modal complementary features ``Z`` for the RL policy."""
+
+    def __init__(
+        self,
+        structural_dim: int,
+        history_dim: int,
+        text_dim: int,
+        image_dim: int,
+        auxiliary_dim: int = 32,
+        attention_dim: int = 32,
+        joint_dim: int = 32,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if auxiliary_dim % 2 != 0:
+            raise ValueError("auxiliary_dim must be even (text/image halves)")
+        rng = new_rng(rng)
+        self.structural_dim = structural_dim
+        self.history_dim = history_dim
+        self.text_dim = text_dim
+        self.image_dim = image_dim
+        self.auxiliary_dim = auxiliary_dim
+        slot_structural_dim = 2 * structural_dim + history_dim
+
+        # Eq. (3): learned projections of the raw text/image features.
+        half = auxiliary_dim // 2
+        self.text_projection = Linear(text_dim, half, bias=False, rng=rng)
+        self.image_projection = Linear(image_dim, half, bias=False, rng=rng)
+
+        self.attention_fusion = AttentionFusionModule(
+            AttentionFusionConfig(
+                structural_dim=slot_structural_dim,
+                auxiliary_dim=auxiliary_dim,
+                attention_dim=attention_dim,
+                joint_dim=joint_dim,
+            ),
+            rng=rng,
+        )
+        self.irrelevance_filtration = IrrelevanceFiltrationModule()
+        self._output_dim = joint_dim
+
+    # ------------------------------------------------------------- structure
+    @property
+    def output_dim(self) -> int:
+        return self._output_dim
+
+    def _auxiliary_row(self, text: np.ndarray, image: np.ndarray) -> Tensor:
+        """Auxiliary slot ``x = [f_t W_t ; f_i W_i]`` (Eq. 3)."""
+        text_part = self.text_projection(Tensor(text.reshape(1, -1)))
+        image_part = self.image_projection(Tensor(image.reshape(1, -1)))
+        return concat([text_part, image_part], axis=-1)
+
+    def _structural_row(
+        self, entity: np.ndarray, history: Tensor, relation: np.ndarray
+    ) -> Tensor:
+        """Structural slot ``y = [e ; h_t ; r_q]`` (Eq. 1)."""
+        return concat(
+            [
+                Tensor(np.asarray(entity, dtype=np.float64).reshape(1, -1)),
+                history.reshape(1, -1),
+                Tensor(np.asarray(relation, dtype=np.float64).reshape(1, -1)),
+            ],
+            axis=-1,
+        )
+
+    # ----------------------------------------------------------------- forward
+    def forward(self, inputs: FusionInputs) -> Tensor:
+        """Return the complementary features ``Z`` as a 1-D tensor of ``joint_dim``."""
+        structural_rows = concat(
+            [
+                self._structural_row(
+                    inputs.source_embedding, inputs.history, inputs.query_relation_embedding
+                ),
+                self._structural_row(
+                    inputs.current_embedding, inputs.history, inputs.query_relation_embedding
+                ),
+                self._structural_row(
+                    inputs.query_relation_embedding, inputs.history, inputs.source_embedding
+                ),
+            ],
+            axis=0,
+        )  # (3, slot_structural_dim)
+        auxiliary_rows = concat(
+            [
+                self._auxiliary_row(inputs.source_text, inputs.source_image),
+                self._auxiliary_row(inputs.current_text, inputs.current_image),
+                self._auxiliary_row(inputs.source_text, inputs.source_image),
+            ],
+            axis=0,
+        )  # (3, auxiliary_dim)
+
+        attended, joint_right = self.attention_fusion(auxiliary_rows, structural_rows)
+        complementary = self.irrelevance_filtration(attended, joint_right)
+        # Pool the slots into the single feature vector the policy consumes.
+        return complementary.sum(axis=0)

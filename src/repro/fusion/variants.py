@@ -1,0 +1,270 @@
+"""Fusion variants for ablations and for the Table VII naive-fusion study.
+
+* ``FusionVariant.FULL`` — the complete unified gate-attention network (MMKGR).
+* ``FusionVariant.NO_FILTRATION`` — FAKGR: the irrelevance-filtration module is
+  removed and the attended features feed the policy directly.
+* ``FusionVariant.NO_ATTENTION`` — FGKGR: fusion stops at the bilinear joint
+  representation of Eq. (6); only the irrelevance-filtration gate is applied.
+* ``FusionVariant.STRUCTURE_ONLY`` — OSKGR: auxiliary features are ignored and
+  the policy sees only (a projection of) the structural features.
+* ``ConcatenationFuser`` / ``AttentionOnlyFuser`` — the two naive fusion
+  strategies (vector concatenation and conventional single-direction
+  attention) that Table VII bolts onto existing multi-hop models.
+
+All fusers expose the same interface — ``forward(FusionInputs) -> Tensor`` of
+``output_dim`` — so the policy network and trainer never need to know which
+variant is in use.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+import numpy as np
+
+from repro.fusion.attention_fusion import AttentionFusionConfig, AttentionFusionModule
+from repro.fusion.gate_attention import FusionInputs, UnifiedGateAttentionNetwork
+from repro.fusion.irrelevance_filtration import IrrelevanceFiltrationModule
+from repro.nn import Linear, Module
+from repro.nn.tensor import Tensor, concat
+from repro.utils.rng import SeedLike, new_rng
+
+
+class FusionVariant(str, Enum):
+    """Named fusion configurations used across the paper's experiments."""
+
+    FULL = "full"
+    NO_FILTRATION = "no_filtration"  # FAKGR
+    NO_ATTENTION = "no_attention"  # FGKGR
+    STRUCTURE_ONLY = "structure_only"  # OSKGR
+    CONCATENATION = "concatenation"  # Table VII naive fusion
+    CONVENTIONAL_ATTENTION = "conventional_attention"  # Table VII naive fusion
+
+
+class _VariantGateAttentionNetwork(UnifiedGateAttentionNetwork):
+    """Unified network with switchable attention-fusion / filtration stages."""
+
+    def __init__(self, *args, use_attention: bool = True, use_filtration: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.use_attention = use_attention
+        self.use_filtration = use_filtration
+
+    def forward(self, inputs: FusionInputs) -> Tensor:
+        structural_rows = concat(
+            [
+                self._structural_row(
+                    inputs.source_embedding, inputs.history, inputs.query_relation_embedding
+                ),
+                self._structural_row(
+                    inputs.current_embedding, inputs.history, inputs.query_relation_embedding
+                ),
+                self._structural_row(
+                    inputs.query_relation_embedding, inputs.history, inputs.source_embedding
+                ),
+            ],
+            axis=0,
+        )
+        auxiliary_rows = concat(
+            [
+                self._auxiliary_row(inputs.source_text, inputs.source_image),
+                self._auxiliary_row(inputs.current_text, inputs.current_image),
+                self._auxiliary_row(inputs.source_text, inputs.source_image),
+            ],
+            axis=0,
+        )
+
+        fusion = self.attention_fusion
+        query = fusion.w_query(auxiliary_rows)
+        key = fusion.w_key(structural_rows)
+        value = fusion.w_value(structural_rows)
+        joint_left = fusion.w_l_key(key) * fusion.w_l_query(query)
+        joint_right = fusion.w_r_value(value) * fusion.w_r_query(query)
+
+        if self.use_attention:
+            attended, joint_right = fusion(auxiliary_rows, structural_rows)
+        else:
+            # FGKGR: stop after the bilinear joint representation of Eq. (6).
+            attended = joint_left
+
+        if self.use_filtration:
+            features = self.irrelevance_filtration(attended, joint_right)
+        else:
+            # FAKGR: attended features go straight to the policy.
+            features = attended
+        return features.sum(axis=0)
+
+
+class ConcatenationFuser(Module):
+    """Naive fusion: concatenate pooled structural and auxiliary features.
+
+    This is the fusion strategy of early multi-modal KG models (and one of the
+    two strategies evaluated in Table VII): no attention, no gating — just a
+    linear projection of the concatenated global features.
+    """
+
+    def __init__(
+        self,
+        structural_dim: int,
+        history_dim: int,
+        text_dim: int,
+        image_dim: int,
+        output_dim: int = 32,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        input_dim = 2 * structural_dim + history_dim + structural_dim + text_dim + image_dim
+        self.projection = Linear(input_dim, output_dim, rng=rng)
+        self._output_dim = output_dim
+
+    @property
+    def output_dim(self) -> int:
+        return self._output_dim
+
+    def forward(self, inputs: FusionInputs) -> Tensor:
+        static = np.concatenate(
+            [
+                inputs.source_embedding,
+                inputs.current_embedding,
+                inputs.query_relation_embedding,
+                0.5 * (inputs.source_text + inputs.current_text),
+                0.5 * (inputs.source_image + inputs.current_image),
+            ]
+        )
+        flat = concat([Tensor(static.reshape(1, -1)), inputs.history_row()], axis=-1)
+        return self.projection(flat).relu().reshape(-1)
+
+
+class AttentionOnlyFuser(Module):
+    """Naive fusion: conventional one-direction attention over the modalities.
+
+    Structural context attends over the three auxiliary feature vectors
+    (source text, source image, current text+image average); there is no
+    intra-modal interaction, no gating, and no filtration — the "Attention"
+    column of Table VII.
+    """
+
+    def __init__(
+        self,
+        structural_dim: int,
+        history_dim: int,
+        text_dim: int,
+        image_dim: int,
+        output_dim: int = 32,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        context_dim = 2 * structural_dim + history_dim
+        self.context_projection = Linear(context_dim, output_dim, bias=False, rng=rng)
+        self.text_projection = Linear(text_dim, output_dim, bias=False, rng=rng)
+        self.image_projection = Linear(image_dim, output_dim, bias=False, rng=rng)
+        self.output_projection = Linear(2 * output_dim, output_dim, rng=rng)
+        self._output_dim = output_dim
+
+    @property
+    def output_dim(self) -> int:
+        return self._output_dim
+
+    def forward(self, inputs: FusionInputs) -> Tensor:
+        context = concat(
+            [
+                Tensor(
+                    np.concatenate(
+                        [inputs.source_embedding, inputs.current_embedding]
+                    ).reshape(1, -1)
+                ),
+                inputs.history_row(),
+            ],
+            axis=-1,
+        )
+        context_vec = self.context_projection(context)  # (1, d)
+        candidates = concat(
+            [
+                self.text_projection(Tensor(inputs.source_text.reshape(1, -1))),
+                self.image_projection(Tensor(inputs.source_image.reshape(1, -1))),
+                self.text_projection(Tensor(inputs.current_text.reshape(1, -1))),
+                self.image_projection(Tensor(inputs.current_image.reshape(1, -1))),
+            ],
+            axis=0,
+        )  # (4, d)
+        scores = candidates.matmul(context_vec.reshape(-1)) * (1.0 / np.sqrt(self._output_dim))
+        weights = scores.softmax(axis=-1).reshape(-1, 1)
+        attended = (candidates * weights).sum(axis=0).reshape(1, -1)
+        fused = concat([context_vec, attended], axis=-1)
+        return self.output_projection(fused).relu().reshape(-1)
+
+
+class StructureOnlyFuser(Module):
+    """OSKGR: ignore the auxiliary modalities entirely (Eq. 17 with structure only)."""
+
+    def __init__(
+        self,
+        structural_dim: int,
+        history_dim: int,
+        output_dim: int = 32,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        rng = new_rng(rng)
+        input_dim = 3 * structural_dim + history_dim
+        self.projection = Linear(input_dim, output_dim, rng=rng)
+        self._output_dim = output_dim
+
+    @property
+    def output_dim(self) -> int:
+        return self._output_dim
+
+    def forward(self, inputs: FusionInputs) -> Tensor:
+        static = np.concatenate(
+            [
+                inputs.source_embedding,
+                inputs.current_embedding,
+                inputs.query_relation_embedding,
+            ]
+        )
+        flat = concat([Tensor(static.reshape(1, -1)), inputs.history_row()], axis=-1)
+        return self.projection(flat).relu().reshape(-1)
+
+
+def build_fuser(
+    variant: FusionVariant,
+    structural_dim: int,
+    history_dim: int,
+    text_dim: int,
+    image_dim: int,
+    auxiliary_dim: int = 32,
+    attention_dim: int = 32,
+    joint_dim: int = 32,
+    rng: SeedLike = None,
+) -> Module:
+    """Factory returning the fuser implementing ``variant``."""
+    variant = FusionVariant(variant)
+    if variant is FusionVariant.STRUCTURE_ONLY:
+        return StructureOnlyFuser(structural_dim, history_dim, output_dim=joint_dim, rng=rng)
+    if variant is FusionVariant.CONCATENATION:
+        return ConcatenationFuser(
+            structural_dim, history_dim, text_dim, image_dim, output_dim=joint_dim, rng=rng
+        )
+    if variant is FusionVariant.CONVENTIONAL_ATTENTION:
+        return AttentionOnlyFuser(
+            structural_dim, history_dim, text_dim, image_dim, output_dim=joint_dim, rng=rng
+        )
+    use_attention = variant is not FusionVariant.NO_ATTENTION
+    use_filtration = variant is not FusionVariant.NO_FILTRATION
+    if variant is FusionVariant.FULL:
+        use_attention = True
+        use_filtration = True
+    return _VariantGateAttentionNetwork(
+        structural_dim=structural_dim,
+        history_dim=history_dim,
+        text_dim=text_dim,
+        image_dim=image_dim,
+        auxiliary_dim=auxiliary_dim,
+        attention_dim=attention_dim,
+        joint_dim=joint_dim,
+        rng=rng,
+        use_attention=use_attention,
+        use_filtration=use_filtration,
+    )

@@ -1,0 +1,37 @@
+"""Knowledge-graph substrate: vocabularies, graphs, multi-modal graphs, datasets."""
+
+from repro.kg.vocab import Vocabulary
+from repro.kg.graph import KnowledgeGraph, Triple, inverse_relation_name, is_inverse_relation
+from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
+from repro.kg.splits import DatasetSplits, split_triples
+from repro.kg.datasets import (
+    DATASET_REGISTRY,
+    DatasetStatistics,
+    SyntheticMKGConfig,
+    build_dataset,
+    fb_img_txt_config,
+    wn9_img_txt_config,
+)
+from repro.kg.sampling import NegativeSampler
+from repro.kg.io import read_triples_tsv, write_triples_tsv
+
+__all__ = [
+    "Vocabulary",
+    "KnowledgeGraph",
+    "Triple",
+    "inverse_relation_name",
+    "is_inverse_relation",
+    "EntityModalities",
+    "MultiModalKnowledgeGraph",
+    "DatasetSplits",
+    "split_triples",
+    "DATASET_REGISTRY",
+    "DatasetStatistics",
+    "SyntheticMKGConfig",
+    "build_dataset",
+    "wn9_img_txt_config",
+    "fb_img_txt_config",
+    "NegativeSampler",
+    "read_triples_tsv",
+    "write_triples_tsv",
+]

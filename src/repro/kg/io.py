@@ -1,0 +1,84 @@
+"""Reading and writing triple files.
+
+The public WN9-IMG-TXT / FB-IMG-TXT releases distribute structural triples as
+tab-separated ``head<TAB>relation<TAB>tail`` files.  These helpers let a user
+who has the original data load it into the same :class:`KnowledgeGraph`
+structure used by the synthetic generators.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from repro.kg.graph import KnowledgeGraph, Triple
+
+PathLike = Union[str, Path]
+
+
+def read_triples_tsv(path: PathLike) -> List[Tuple[str, str, str]]:
+    """Read ``head<TAB>relation<TAB>tail`` lines; blank lines are skipped."""
+    path = Path(path)
+    triples: List[Tuple[str, str, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            triples.append((parts[0], parts[1], parts[2]))
+    return triples
+
+
+def write_triples_tsv(
+    path: PathLike, triples: Iterable[Tuple[str, str, str]]
+) -> Path:
+    """Write string triples to a TSV file, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for head, relation, tail in triples:
+            handle.write(f"{head}\t{relation}\t{tail}\n")
+    return path
+
+
+def graph_from_string_triples(
+    triples: Iterable[Tuple[str, str, str]],
+    add_inverse: bool = True,
+    add_no_op: bool = True,
+) -> KnowledgeGraph:
+    """Build a :class:`KnowledgeGraph` from string triples."""
+    graph = KnowledgeGraph(add_inverse=add_inverse, add_no_op=add_no_op)
+    for head, relation, tail in triples:
+        graph.add_triple_by_name(head, relation, tail)
+    return graph
+
+
+def graph_to_string_triples(graph: KnowledgeGraph) -> List[Tuple[str, str, str]]:
+    """Export forward triples back to symbol strings."""
+    result = []
+    for triple in graph.triples():
+        result.append(
+            (
+                graph.entities.symbol(triple.head),
+                graph.relations.symbol(triple.relation),
+                graph.entities.symbol(triple.tail),
+            )
+        )
+    return result
+
+
+def save_graph(graph: KnowledgeGraph, path: PathLike) -> Path:
+    """Persist a graph's forward triples as TSV."""
+    return write_triples_tsv(path, graph_to_string_triples(graph))
+
+
+def load_graph(path: PathLike, add_inverse: bool = True, add_no_op: bool = True) -> KnowledgeGraph:
+    """Load a graph previously saved with :func:`save_graph` (or the public data)."""
+    return graph_from_string_triples(
+        read_triples_tsv(path), add_inverse=add_inverse, add_no_op=add_no_op
+    )

@@ -1,0 +1,80 @@
+"""Negative sampling for embedding-based models (TransE, ConvE, DistMult...).
+
+Single-hop reasoning baselines and the ConvE reward-shaping scorer are
+trained by corrupting either the head or the tail of observed triples, the
+standard protocol introduced with TransE.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.utils.rng import SeedLike, new_rng
+
+
+class NegativeSampler:
+    """Uniform corruption sampler with optional filtering of true triples."""
+
+    def __init__(self, graph: KnowledgeGraph, rng: SeedLike = None, filtered: bool = True):
+        self.graph = graph
+        self.rng = new_rng(rng)
+        self.filtered = filtered
+
+    def corrupt(self, triple: Triple, corrupt_tail: bool = True, max_attempts: int = 50) -> Triple:
+        """Return a corrupted copy of ``triple`` that is (probably) not a fact.
+
+        With ``filtered`` enabled, corruptions that happen to be known facts
+        are resampled up to ``max_attempts`` times; a pathological graph where
+        everything is connected simply returns the last candidate.
+        """
+        num_entities = self.graph.num_entities
+        candidate = triple
+        for _ in range(max_attempts):
+            replacement = int(self.rng.integers(0, num_entities))
+            if corrupt_tail:
+                candidate = Triple(triple.head, triple.relation, replacement)
+            else:
+                candidate = Triple(replacement, triple.relation, triple.tail)
+            if not self.filtered:
+                return candidate
+            if not self.graph.contains(candidate.head, candidate.relation, candidate.tail):
+                return candidate
+        return candidate
+
+    def corrupt_batch(
+        self, triples: Sequence[Triple], negatives_per_positive: int = 1
+    ) -> List[Tuple[Triple, Triple]]:
+        """Pair each positive triple with ``negatives_per_positive`` corruptions.
+
+        Head and tail corruption are chosen with equal probability, following
+        the "bern"-less uniform setting used by the baselines the paper cites.
+        """
+        if negatives_per_positive < 1:
+            raise ValueError("negatives_per_positive must be >= 1")
+        pairs: List[Tuple[Triple, Triple]] = []
+        for triple in triples:
+            for _ in range(negatives_per_positive):
+                corrupt_tail = bool(self.rng.random() < 0.5)
+                pairs.append((triple, self.corrupt(triple, corrupt_tail=corrupt_tail)))
+        return pairs
+
+    def candidate_tails(self, head: int, relation: int, num_candidates: int) -> np.ndarray:
+        """Sample candidate tail entities for ranking-style evaluation.
+
+        The true tails for ``(head, relation)`` are always excluded so callers
+        can append the gold answer themselves and compute a filtered rank.
+        """
+        known = self.graph.tails_for(head, relation)
+        candidates: List[int] = []
+        attempts = 0
+        limit = max(10 * num_candidates, 100)
+        while len(candidates) < num_candidates and attempts < limit:
+            entity = int(self.rng.integers(0, self.graph.num_entities))
+            attempts += 1
+            if entity in known:
+                continue
+            candidates.append(entity)
+        return np.asarray(candidates, dtype=np.int64)

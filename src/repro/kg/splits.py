@@ -1,0 +1,130 @@
+"""Train / valid / test splits over triples.
+
+The agent may only walk edges from the training graph; validation and test
+triples are held out as reasoning queries, exactly as in the paper's
+evaluation protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.utils.rng import SeedLike, new_rng
+
+
+@dataclass
+class DatasetSplits:
+    """Triple splits plus the training graph the agent is allowed to traverse."""
+
+    train: List[Triple]
+    valid: List[Triple]
+    test: List[Triple]
+    full_graph: KnowledgeGraph
+    train_graph: KnowledgeGraph
+
+    def sizes(self) -> Dict[str, int]:
+        return {"train": len(self.train), "valid": len(self.valid), "test": len(self.test)}
+
+    def all_triples(self) -> List[Triple]:
+        return list(self.train) + list(self.valid) + list(self.test)
+
+
+def split_triples(
+    graph: KnowledgeGraph,
+    valid_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    rng: SeedLike = None,
+    ensure_entity_coverage: bool = True,
+) -> DatasetSplits:
+    """Partition the graph's triples into train/valid/test splits.
+
+    When ``ensure_entity_coverage`` is set, every entity and relation that
+    appears in valid/test also appears in at least one training triple, so
+    that embeddings exist for all query elements (the standard link-prediction
+    convention).
+    """
+    if not 0.0 <= valid_fraction < 1.0 or not 0.0 <= test_fraction < 1.0:
+        raise ValueError("split fractions must be in [0, 1)")
+    if valid_fraction + test_fraction >= 1.0:
+        raise ValueError("train split would be empty")
+    rng = new_rng(rng)
+    triples = graph.triples()
+    if not triples:
+        raise ValueError("cannot split an empty graph")
+
+    order = rng.permutation(len(triples))
+    shuffled = [triples[i] for i in order]
+
+    protected_indices = set()
+    if ensure_entity_coverage:
+        protected_indices = _first_occurrence_indices(shuffled)
+
+    num_valid = int(round(valid_fraction * len(shuffled)))
+    num_test = int(round(test_fraction * len(shuffled)))
+
+    held_out: List[int] = []
+    for index in range(len(shuffled)):
+        if index in protected_indices:
+            continue
+        held_out.append(index)
+        if len(held_out) >= num_valid + num_test:
+            break
+
+    valid_idx = set(held_out[:num_valid])
+    test_idx = set(held_out[num_valid : num_valid + num_test])
+
+    train: List[Triple] = []
+    valid: List[Triple] = []
+    test: List[Triple] = []
+    for index, triple in enumerate(shuffled):
+        if index in valid_idx:
+            valid.append(triple)
+        elif index in test_idx:
+            test.append(triple)
+        else:
+            train.append(triple)
+
+    train_graph = graph.subgraph(train)
+    return DatasetSplits(
+        train=train, valid=valid, test=test, full_graph=graph, train_graph=train_graph
+    )
+
+
+def _first_occurrence_indices(triples: Sequence[Triple]) -> set:
+    """Indices of the first triple covering each entity and each relation."""
+    seen_entities: set = set()
+    seen_relations: set = set()
+    protected: set = set()
+    for index, triple in enumerate(triples):
+        is_new = (
+            triple.head not in seen_entities
+            or triple.tail not in seen_entities
+            or triple.relation not in seen_relations
+        )
+        if is_new:
+            protected.add(index)
+        seen_entities.add(triple.head)
+        seen_entities.add(triple.tail)
+        seen_relations.add(triple.relation)
+    return protected
+
+
+def queries_from_triples(triples: Sequence[Triple]) -> List[Tuple[int, int, int]]:
+    """Convert triples to ``(source, query relation, answer)`` tuples."""
+    return [(t.head, t.relation, t.tail) for t in triples]
+
+
+def sample_triples(
+    triples: Sequence[Triple], fraction: float, rng: SeedLike = None
+) -> List[Triple]:
+    """Random subset of ``triples`` (used by the Table VIII proportion sweep)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = new_rng(rng)
+    count = max(1, int(round(fraction * len(triples))))
+    indices = rng.choice(len(triples), size=min(count, len(triples)), replace=False)
+    return [triples[i] for i in sorted(indices)]

@@ -1,0 +1,177 @@
+"""Structural statistics of knowledge graphs and multi-modal datasets.
+
+These summaries serve three purposes: the Table II-style dataset reports of
+the CLI and benches, sanity checks that the synthetic generators preserve the
+structural properties the paper's experiments rely on (long-tailed relations,
+compositional multi-hop paths), and the relation-cardinality breakdown
+(1-1 / 1-N / N-1 / N-N) that the link-prediction literature uses to interpret
+metric differences.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.kg.datasets import MKGDataset
+from repro.kg.graph import (
+    NO_OP_RELATION,
+    KnowledgeGraph,
+    Triple,
+    is_inverse_relation,
+)
+from repro.utils.rng import SeedLike, new_rng
+
+
+def degree_statistics(graph: KnowledgeGraph) -> Dict[str, float]:
+    """Out-degree summary over all entities (inverse edges included)."""
+    degrees = np.array([graph.degree(entity) for entity in range(graph.num_entities)])
+    if degrees.size == 0:
+        return {"mean": 0.0, "median": 0.0, "max": 0.0, "min": 0.0, "isolated": 0.0}
+    return {
+        "mean": float(np.mean(degrees)),
+        "median": float(np.median(degrees)),
+        "max": float(np.max(degrees)),
+        "min": float(np.min(degrees)),
+        "isolated": float(np.sum(degrees == 0)),
+    }
+
+
+def graph_density(graph: KnowledgeGraph) -> float:
+    """Forward triples divided by the number of possible (head, tail) pairs."""
+    entities = graph.num_entities
+    if entities < 2:
+        return 0.0
+    return graph.num_triples / (entities * (entities - 1))
+
+
+def forward_relation_ids(graph: KnowledgeGraph) -> List[int]:
+    """Relation ids excluding inverse copies and the NO_OP self-loop."""
+    result = []
+    for index in range(graph.num_relations):
+        name = graph.relations.symbol(index)
+        if name == NO_OP_RELATION or is_inverse_relation(name):
+            continue
+        result.append(index)
+    return result
+
+
+def relation_cardinality(graph: KnowledgeGraph) -> Dict[str, str]:
+    """Classify every forward relation as 1-1, 1-N, N-1, or N-N.
+
+    Following the convention of Bordes et al., a relation is "N" on the tail
+    side when heads have more than 1.5 tails on average, and symmetrically on
+    the head side.
+    """
+    tails_per_head: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    heads_per_tail: Dict[int, Dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    for triple in graph.triples():
+        tails_per_head[triple.relation][triple.head] += 1
+        heads_per_tail[triple.relation][triple.tail] += 1
+
+    classification: Dict[str, str] = {}
+    for relation in forward_relation_ids(graph):
+        name = graph.relations.symbol(relation)
+        if relation not in tails_per_head:
+            continue
+        avg_tails = float(np.mean(list(tails_per_head[relation].values())))
+        avg_heads = float(np.mean(list(heads_per_tail[relation].values())))
+        head_side = "N" if avg_heads > 1.5 else "1"
+        tail_side = "N" if avg_tails > 1.5 else "1"
+        classification[name] = f"{head_side}-{tail_side}"
+    return classification
+
+
+def relation_frequency_summary(graph: KnowledgeGraph) -> Dict[str, float]:
+    """Summary of how skewed the relation frequency distribution is."""
+    frequencies = [
+        count
+        for relation, count in graph.relation_frequencies().items()
+        if relation in set(forward_relation_ids(graph))
+    ]
+    if not frequencies:
+        return {"relations": 0.0, "mean": 0.0, "max": 0.0, "min": 0.0, "gini": 0.0}
+    data = np.sort(np.asarray(frequencies, dtype=np.float64))
+    n = data.size
+    cumulative = np.cumsum(data)
+    gini = float((n + 1 - 2 * np.sum(cumulative) / cumulative[-1]) / n) if cumulative[-1] else 0.0
+    return {
+        "relations": float(n),
+        "mean": float(np.mean(data)),
+        "max": float(np.max(data)),
+        "min": float(np.min(data)),
+        "gini": gini,
+    }
+
+
+def multihop_answerable_fraction(
+    graph: KnowledgeGraph,
+    triples: Sequence[Triple],
+    max_hops: int = 3,
+    max_samples: Optional[int] = 50,
+    rng: SeedLike = None,
+) -> float:
+    """Fraction of ``triples`` whose answer is reachable without the direct edge.
+
+    This is the structural property multi-hop reasoning depends on: a held-out
+    fact ``(h, r, t)`` is only answerable by a path-based reasoner if some
+    alternative path of at most ``max_hops`` hops connects ``h`` to ``t``.
+    """
+    if max_hops < 1:
+        raise ValueError("max_hops must be >= 1")
+    items = list(triples)
+    if not items:
+        return 0.0
+    if max_samples is not None and len(items) > max_samples:
+        generator = new_rng(rng)
+        indices = generator.choice(len(items), size=max_samples, replace=False)
+        items = [items[i] for i in indices]
+    answerable = 0
+    for triple in items:
+        paths = graph.paths_between(triple.head, triple.tail, max_hops=max_hops, limit=5)
+        # Discard the trivial path that just uses the queried edge itself.
+        non_trivial = [
+            path
+            for path in paths
+            if not (len(path) == 1 and path[0][0] == triple.relation)
+        ]
+        if non_trivial:
+            answerable += 1
+    return answerable / len(items)
+
+
+def describe_graph(graph: KnowledgeGraph) -> Dict[str, float]:
+    """One flat dictionary of the headline structural statistics."""
+    description: Dict[str, float] = {
+        "entities": float(graph.num_entities),
+        "relations": float(len(forward_relation_ids(graph))),
+        "triples": float(graph.num_triples),
+        "density": graph_density(graph),
+    }
+    description.update({f"degree_{k}": v for k, v in degree_statistics(graph).items()})
+    description.update(
+        {f"relation_freq_{k}": v for k, v in relation_frequency_summary(graph).items()}
+    )
+    return description
+
+
+def describe_dataset(dataset: MKGDataset, rng: SeedLike = 0) -> Dict[str, float]:
+    """Structural + split + modality statistics of a built dataset."""
+    description = describe_graph(dataset.graph)
+    sizes = dataset.splits.sizes()
+    description.update(
+        {
+            "train_triples": float(sizes["train"]),
+            "valid_triples": float(sizes["valid"]),
+            "test_triples": float(sizes["test"]),
+            "modal_coverage": dataset.mkg.coverage(),
+            "image_dim": float(dataset.mkg.image_dim),
+            "text_dim": float(dataset.mkg.text_dim),
+            "test_multihop_answerable": multihop_answerable_fraction(
+                dataset.train_graph, dataset.splits.test, rng=rng
+            ),
+        }
+    )
+    return description

@@ -1,0 +1,69 @@
+"""Bidirectional string/index vocabularies for entities and relations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+
+class Vocabulary:
+    """Maps symbols (entity or relation names) to contiguous integer ids.
+
+    Ids are assigned in insertion order, which keeps dataset construction
+    deterministic.  Lookup by name or by id are both O(1).
+    """
+
+    def __init__(self, symbols: Optional[Iterable[str]] = None):
+        self._index: Dict[str, int] = {}
+        self._symbols: List[str] = []
+        for symbol in symbols or []:
+            self.add(symbol)
+
+    def add(self, symbol: str) -> int:
+        """Add ``symbol`` if new and return its id."""
+        if not isinstance(symbol, str) or not symbol:
+            raise ValueError(f"vocabulary symbols must be non-empty strings, got {symbol!r}")
+        existing = self._index.get(symbol)
+        if existing is not None:
+            return existing
+        index = len(self._symbols)
+        self._index[symbol] = index
+        self._symbols.append(symbol)
+        return index
+
+    def index(self, symbol: str) -> int:
+        """Return the id of ``symbol``; raises ``KeyError`` when unknown."""
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise KeyError(f"unknown symbol: {symbol!r}") from None
+
+    def symbol(self, index: int) -> str:
+        """Return the symbol at ``index``; raises ``IndexError`` when out of range."""
+        if not 0 <= index < len(self._symbols):
+            raise IndexError(f"index {index} out of range for vocabulary of size {len(self)}")
+        return self._symbols[index]
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._index
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._symbols)
+
+    def symbols(self) -> List[str]:
+        """All symbols in id order (copy)."""
+        return list(self._symbols)
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self._index)
+
+    @classmethod
+    def from_dict(cls, mapping: Dict[str, int]) -> "Vocabulary":
+        """Rebuild a vocabulary from a ``{symbol: id}`` mapping."""
+        ordered = sorted(mapping.items(), key=lambda kv: kv[1])
+        expected = list(range(len(ordered)))
+        if [idx for _, idx in ordered] != expected:
+            raise ValueError("vocabulary ids must be contiguous and start at 0")
+        return cls(symbol for symbol, _ in ordered)

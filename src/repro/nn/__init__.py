@@ -1,0 +1,55 @@
+"""A small reverse-mode autograd and neural-network library built on NumPy.
+
+The original MMKGR implementation relies on PyTorch.  This package provides
+the subset of functionality the paper's model actually needs — dense layers,
+embeddings, an LSTM cell, attention-style bilinear products, sigmoid/softmax
+gates, and the Adam optimizer — implemented from scratch so that the rest of
+the reproduction has no dependency on a deep-learning framework.
+
+The public surface mirrors familiar PyTorch idioms (``Tensor``, ``Module``,
+``Linear``, ``Adam``) to keep the model code readable.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    LSTMCell,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+)
+from repro.nn.init import xavier_uniform, xavier_normal, uniform_, zeros_, normal_
+from repro.nn.optim import SGD, Adam, Optimizer, clip_grad_norm
+from repro.nn.serialization import load_state_dict, save_state_dict, state_dict_to_arrays
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LSTMCell",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "xavier_uniform",
+    "xavier_normal",
+    "uniform_",
+    "zeros_",
+    "normal_",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "save_state_dict",
+    "load_state_dict",
+    "state_dict_to_arrays",
+]

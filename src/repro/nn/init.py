@@ -1,0 +1,58 @@
+"""Weight initialisation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+
+def xavier_uniform(shape, rng: SeedLike = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a 2-D weight matrix."""
+    rng = new_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape, rng: SeedLike = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = new_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def uniform_(tensor: Tensor, low: float, high: float, rng: SeedLike = None) -> Tensor:
+    """Fill ``tensor`` in place with uniform noise."""
+    rng = new_rng(rng)
+    tensor.data[...] = rng.uniform(low, high, size=tensor.shape)
+    return tensor
+
+
+def normal_(tensor: Tensor, mean: float = 0.0, std: float = 1.0, rng: SeedLike = None) -> Tensor:
+    """Fill ``tensor`` in place with Gaussian noise."""
+    rng = new_rng(rng)
+    tensor.data[...] = rng.normal(mean, std, size=tensor.shape)
+    return tensor
+
+
+def zeros_(tensor: Tensor) -> Tensor:
+    """Zero a tensor in place."""
+    tensor.data[...] = 0.0
+    return tensor
+
+
+def _fans(shape) -> tuple:
+    if len(shape) < 1:
+        raise ValueError("initialisation requires at least a 1-D shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = shape[0]
+    fan_out = shape[1]
+    if len(shape) > 2:
+        receptive = int(np.prod(shape[2:]))
+        fan_in *= receptive
+        fan_out *= receptive
+    return fan_in, fan_out

@@ -1,0 +1,42 @@
+"""Saving and loading model parameters.
+
+State dicts are stored as ``.npz`` archives so that trained models (TransE
+embeddings, the fusion network, the policy network) can be checkpointed and
+reloaded without pickling arbitrary objects.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(module: Module, path: PathLike) -> Path:
+    """Write a module's parameters to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    np.savez(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state_dict(module: Module, path: PathLike) -> Module:
+    """Load parameters saved by :func:`save_state_dict` into ``module``."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module
+
+
+def state_dict_to_arrays(module: Module) -> Dict[str, np.ndarray]:
+    """Return a copy of the module's parameters keyed by dotted names."""
+    return module.state_dict()

@@ -1,0 +1,40 @@
+"""Complementary feature-aware reinforcement learning (Section IV-C)."""
+
+from repro.rl.environment import EpisodeState, MKGEnvironment, Query
+from repro.rl.history import PathHistoryEncoder
+from repro.rl.imitation import ImitationConfig, ImitationTrainer, find_demonstration_path
+from repro.rl.policy import PolicyNetwork
+from repro.rl.rewards import (
+    CompositeReward,
+    DestinationReward,
+    DistanceReward,
+    DiversityReward,
+    RewardConfig,
+    ZeroOneReward,
+    build_reward,
+)
+from repro.rl.rollout import BeamSearchResult, beam_search, sample_episode
+from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
+
+__all__ = [
+    "Query",
+    "EpisodeState",
+    "MKGEnvironment",
+    "PathHistoryEncoder",
+    "ImitationConfig",
+    "ImitationTrainer",
+    "find_demonstration_path",
+    "PolicyNetwork",
+    "RewardConfig",
+    "DestinationReward",
+    "DistanceReward",
+    "DiversityReward",
+    "CompositeReward",
+    "ZeroOneReward",
+    "build_reward",
+    "sample_episode",
+    "beam_search",
+    "BeamSearchResult",
+    "ReinforceConfig",
+    "ReinforceTrainer",
+]

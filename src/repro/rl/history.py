@@ -1,0 +1,76 @@
+"""LSTM encoding of the reasoning-path history (Section IV-B1).
+
+The history ``h_t = (e_s, r_0, e_1, r_1, ..., e_t)`` is folded step by step
+into a fixed-size vector by an LSTM cell: at every step the concatenation of
+the traversed relation embedding and the reached entity embedding is fed to
+the cell.  The resulting hidden state is part of the structural features
+``y = [e_s ; h_t ; r_q]`` consumed by the fusion network.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import LSTMCell, Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike
+
+
+class PathHistoryEncoder(Module):
+    """Step-wise LSTM over (relation, entity) embedding pairs."""
+
+    def __init__(self, embedding_dim: int, hidden_dim: int, rng: SeedLike = None):
+        super().__init__()
+        if embedding_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.cell = LSTMCell(2 * embedding_dim, hidden_dim, rng=rng)
+        self._state: Optional[Tuple[Tensor, Tensor]] = None
+
+    def reset(self, source_embedding: np.ndarray) -> Tensor:
+        """Start a new episode; the history is seeded with the source entity.
+
+        The first LSTM input pairs a zero "relation" with the source entity,
+        mirroring the ``r_0`` placeholder in the paper's history definition.
+        """
+        source_embedding = np.asarray(source_embedding, dtype=np.float64)
+        if source_embedding.shape != (self.embedding_dim,):
+            raise ValueError(
+                f"expected source embedding of dim {self.embedding_dim}, got {source_embedding.shape}"
+            )
+        self._state = self.cell.init_state(batch_size=1)
+        zero_relation = np.zeros(self.embedding_dim)
+        return self.update(zero_relation, source_embedding)
+
+    def update(self, relation_embedding: np.ndarray, entity_embedding: np.ndarray) -> Tensor:
+        """Fold one traversed (relation, entity) step into the history."""
+        if self._state is None:
+            raise RuntimeError("PathHistoryEncoder.reset() must be called before update()")
+        step_input = Tensor(
+            np.concatenate([relation_embedding, entity_embedding]).reshape(1, -1)
+        )
+        hidden, cell = self.cell(step_input, self._state)
+        self._state = (hidden, cell)
+        return hidden.reshape(-1)
+
+    @property
+    def hidden(self) -> Tensor:
+        """Current history encoding ``h_t`` as a 1-D tensor."""
+        if self._state is None:
+            raise RuntimeError("PathHistoryEncoder has no state; call reset() first")
+        return self._state[0].reshape(-1)
+
+    def snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Detached copy of the LSTM state, used by beam search to fork branches."""
+        if self._state is None:
+            raise RuntimeError("PathHistoryEncoder has no state; call reset() first")
+        hidden, cell = self._state
+        return hidden.data.copy(), cell.data.copy()
+
+    def restore(self, snapshot: Tuple[np.ndarray, np.ndarray]) -> None:
+        """Restore a state captured with :meth:`snapshot` (gradients are cut)."""
+        hidden, cell = snapshot
+        self._state = (Tensor(hidden.copy()), Tensor(cell.copy()))

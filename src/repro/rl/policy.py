@@ -1,0 +1,78 @@
+"""The policy network (Eq. 17).
+
+``π_θ(a_t | s_t) = softmax(A_t (W_2 ReLU(Z)))`` — the multi-modal
+complementary features ``Z`` produced by the fusion network are mapped
+through a feed-forward layer, and the result is matched against the stacked
+embeddings ``A_t`` of every available action (relation ‖ target entity).
+The action with the highest probability is the next reasoning step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn import Linear, Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import SeedLike, new_rng
+
+
+class PolicyNetwork(Module):
+    """Feed-forward policy head scoring candidate actions against ``Z``."""
+
+    def __init__(
+        self,
+        fusion_dim: int,
+        action_dim: int,
+        hidden_dim: int = 64,
+        rng: SeedLike = None,
+    ):
+        super().__init__()
+        if fusion_dim <= 0 or action_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("dimensions must be positive")
+        rng = new_rng(rng)
+        self.fusion_dim = fusion_dim
+        self.action_dim = action_dim
+        # W_2 ReLU(Z): two affine maps with a ReLU in between, projecting the
+        # complementary features into the action-embedding space.
+        self.hidden_layer = Linear(fusion_dim, hidden_dim, rng=rng)
+        self.output_layer = Linear(hidden_dim, action_dim, rng=rng)
+
+    def action_scores(self, fused_features: Tensor, action_embeddings: np.ndarray) -> Tensor:
+        """Unnormalised scores of each action (one row per action)."""
+        action_embeddings = np.asarray(action_embeddings, dtype=np.float64)
+        if action_embeddings.ndim != 2 or action_embeddings.shape[1] != self.action_dim:
+            raise ValueError(
+                f"expected action embeddings of shape (n, {self.action_dim}), "
+                f"got {action_embeddings.shape}"
+            )
+        projected = self.output_layer(self.hidden_layer(fused_features).relu())  # (action_dim,)
+        return Tensor(action_embeddings).matmul(projected)
+
+    def forward(self, fused_features: Tensor, action_embeddings: np.ndarray) -> Tensor:
+        """Action log-probabilities ``log π_θ(a_t | s_t)``."""
+        scores = self.action_scores(fused_features, action_embeddings)
+        return scores.log_softmax(axis=-1)
+
+    def action_probabilities(
+        self, fused_features: Tensor, action_embeddings: np.ndarray
+    ) -> np.ndarray:
+        """Probabilities as a plain array (used at inference time)."""
+        scores = self.action_scores(fused_features, action_embeddings)
+        return scores.softmax(axis=-1).data.copy()
+
+
+def stack_action_embeddings(
+    actions: Sequence[Tuple[int, int]],
+    relation_embeddings: np.ndarray,
+    entity_embeddings: np.ndarray,
+) -> np.ndarray:
+    """Build the action matrix ``A_t``: each row is ``[relation ; entity]``."""
+    if not actions:
+        raise ValueError("action space is empty")
+    rows = [
+        np.concatenate([relation_embeddings[relation], entity_embeddings[entity]])
+        for relation, entity in actions
+    ]
+    return np.stack(rows)

@@ -1,0 +1,22 @@
+"""Shared utilities: metrics, RNG handling, logging, and table rendering."""
+
+from repro.utils.metrics import (
+    average_precision,
+    hits_at_k,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    RankingResult,
+)
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.tables import format_table
+
+__all__ = [
+    "average_precision",
+    "hits_at_k",
+    "mean_average_precision",
+    "mean_reciprocal_rank",
+    "RankingResult",
+    "new_rng",
+    "spawn_rngs",
+    "format_table",
+]

@@ -1,0 +1,31 @@
+"""Lightweight logging helpers.
+
+Experiments want per-epoch progress lines without configuring the stdlib
+logging machinery in every script.  ``get_logger`` returns a namespaced
+logger with a single stream handler; repeated calls reuse the handler.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a configured logger under the ``repro`` namespace."""
+    logger = logging.getLogger(f"repro.{name}" if not name.startswith("repro") else name)
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger
+
+
+def set_verbosity(verbose: bool, logger: Optional[logging.Logger] = None) -> None:
+    """Switch a logger (or the package root) between INFO and WARNING."""
+    target = logger if logger is not None else logging.getLogger("repro")
+    target.setLevel(logging.INFO if verbose else logging.WARNING)

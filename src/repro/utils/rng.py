@@ -1,0 +1,66 @@
+"""Deterministic random-number-generator helpers.
+
+Every stochastic component in the library accepts either an integer seed or a
+:class:`numpy.random.Generator`.  Centralising the conversion here keeps the
+rest of the code free of ``if isinstance(seed, ...)`` boilerplate and makes
+experiments reproducible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def new_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be an integer, an existing generator (returned unchanged), or
+    ``None`` (fresh OS entropy).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent child generators from ``seed``.
+
+    The children are statistically independent streams, which makes it safe to
+    hand one to each parallel component (dataset generator, agent, encoder)
+    without the order of consumption affecting reproducibility.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = new_rng(seed)
+    return [np.random.default_rng(s) for s in parent.bit_generator.seed_seq.spawn(count)]
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, items: Iterable, size: int
+) -> list:
+    """Sample ``size`` distinct items (or all of them if fewer are available)."""
+    pool = list(items)
+    if size >= len(pool):
+        return pool
+    indices = rng.choice(len(pool), size=size, replace=False)
+    return [pool[i] for i in indices]
+
+
+def stable_hash(text: str, modulus: Optional[int] = None) -> int:
+    """Deterministic (process-independent) hash of a string.
+
+    Python's builtin ``hash`` is salted per process; the feature encoders need
+    a stable value so that the same entity always maps to the same synthetic
+    feature vector.
+    """
+    value = 2166136261
+    for ch in text.encode("utf-8"):
+        value ^= ch
+        value = (value * 16777619) & 0xFFFFFFFF
+    if modulus is not None:
+        return value % modulus
+    return value

@@ -1,0 +1,73 @@
+"""ASCII table rendering for the benchmark harness.
+
+The benchmark targets print rows in the same layout as the paper's tables so
+that measured results can be compared against the published numbers at a
+glance.  The formatting here intentionally avoids third-party dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    text_rows: List[List[str]] = [
+        [_format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    header_row = [str(h) for h in headers]
+    widths = [len(h) for h in header_row]
+    for row in text_rows:
+        if len(row) != len(header_row):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(header_row)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_row))
+    lines.append(separator)
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_comparison(
+    headers: Sequence[str],
+    measured: Mapping[str, Sequence[Cell]],
+    reference: Mapping[str, Sequence[Cell]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render measured rows interleaved with the paper's reference rows.
+
+    ``measured`` and ``reference`` map a row label (e.g. a model name) to its
+    metric cells; reference rows are suffixed with ``(paper)``.
+    """
+    rows: List[List[Cell]] = []
+    for label, cells in measured.items():
+        rows.append([label, *cells])
+        if label in reference:
+            rows.append([f"{label} (paper)", *reference[label]])
+    return format_table(["model", *headers], rows, title=title, precision=precision)

@@ -1,0 +1,107 @@
+"""Tests for multi-seed aggregation of metric dictionaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.aggregate import (
+    MetricSummary,
+    aggregate_runs,
+    compare_models,
+    run_multi_seed,
+)
+
+
+class TestMetricSummary:
+    def test_from_values_basic_statistics(self):
+        summary = MetricSummary.from_values("mrr", [0.2, 0.4, 0.6])
+        assert summary.mean == pytest.approx(0.4)
+        assert summary.minimum == pytest.approx(0.2)
+        assert summary.maximum == pytest.approx(0.6)
+        assert summary.count == 3
+        assert summary.std == pytest.approx(np.std([0.2, 0.4, 0.6], ddof=1))
+
+    def test_single_value_has_zero_std(self):
+        summary = MetricSummary.from_values("mrr", [0.5])
+        assert summary.std == 0.0
+        assert summary.count == 1
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            MetricSummary.from_values("mrr", [])
+
+    def test_format_contains_mean_and_std(self):
+        summary = MetricSummary.from_values("mrr", [0.25, 0.75])
+        formatted = summary.format(2)
+        assert "0.50" in formatted
+        assert "±" in formatted
+
+    def test_to_dict_keys(self):
+        payload = MetricSummary.from_values("hits@1", [0.1, 0.2]).to_dict()
+        assert set(payload) == {"mean", "std", "min", "max", "count"}
+
+    @given(st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_mean_bounded_by_min_and_max(self, values):
+        summary = MetricSummary.from_values("metric", values)
+        assert summary.minimum - 1e-9 <= summary.mean <= summary.maximum + 1e-9
+        assert summary.std >= 0.0
+
+
+class TestAggregateRuns:
+    def test_aggregates_shared_metrics(self):
+        runs = [{"mrr": 0.2, "hits@1": 0.1}, {"mrr": 0.4, "hits@1": 0.3}]
+        summaries = aggregate_runs(runs)
+        assert summaries["mrr"].mean == pytest.approx(0.3)
+        assert summaries["hits@1"].count == 2
+
+    def test_only_shared_metrics_by_default(self):
+        runs = [{"mrr": 0.2, "hits@1": 0.1}, {"mrr": 0.4}]
+        summaries = aggregate_runs(runs)
+        assert "hits@1" not in summaries
+        assert "mrr" in summaries
+
+    def test_explicit_metric_selection(self):
+        runs = [{"mrr": 0.2, "hits@1": 0.1}, {"mrr": 0.4, "hits@1": 0.3}]
+        summaries = aggregate_runs(runs, metrics=["hits@1"])
+        assert list(summaries) == ["hits@1"]
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(KeyError):
+            aggregate_runs([{"mrr": 0.2}], metrics=["hits@1"])
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_runs([])
+
+
+class TestRunMultiSeed:
+    def test_factory_called_per_seed(self):
+        calls = []
+
+        def factory(seed):
+            calls.append(seed)
+            return {"mrr": seed / 10.0}
+
+        summaries = run_multi_seed(factory, seeds=[1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert summaries["mrr"].mean == pytest.approx(0.2)
+
+    def test_no_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_seed(lambda seed: {"mrr": 0.1}, seeds=[])
+
+
+class TestCompareModels:
+    def test_rows_match_models(self):
+        results = {
+            "MMKGR": [{"mrr": 0.5, "hits@1": 0.4, "hits@5": 0.6, "hits@10": 0.7}],
+            "MINERVA": [{"mrr": 0.3, "hits@1": 0.2, "hits@5": 0.4, "hits@10": 0.5}],
+        }
+        headers, rows = compare_models(results)
+        assert headers[0] == "model"
+        assert [row[0] for row in rows] == ["MMKGR", "MINERVA"]
+        assert all(len(row) == len(headers) for row in rows)

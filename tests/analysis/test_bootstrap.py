@@ -1,0 +1,113 @@
+"""Tests for bootstrap confidence intervals and paired significance tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bootstrap import (
+    bootstrap_confidence_interval,
+    paired_bootstrap_test,
+    sign_test,
+)
+
+
+class TestBootstrapConfidenceInterval:
+    def test_constant_sample_has_zero_width(self):
+        interval = bootstrap_confidence_interval([0.5] * 20, rng=0)
+        assert interval.lower == pytest.approx(0.5)
+        assert interval.upper == pytest.approx(0.5)
+        assert interval.width == pytest.approx(0.0)
+        assert interval.contains(0.5)
+
+    def test_interval_contains_sample_mean(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(0.3, 0.1, size=200)
+        interval = bootstrap_confidence_interval(values, rng=1)
+        assert interval.lower <= interval.mean <= interval.upper
+
+    def test_wider_confidence_gives_wider_interval(self):
+        rng = np.random.default_rng(7)
+        values = rng.normal(0.0, 1.0, size=100)
+        narrow = bootstrap_confidence_interval(values, confidence=0.8, rng=2)
+        wide = bootstrap_confidence_interval(values, confidence=0.99, rng=2)
+        assert wide.width >= narrow.width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([], rng=0)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([0.1], confidence=1.5, rng=0)
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval([0.1], num_samples=0, rng=0)
+
+    def test_format_mentions_bounds(self):
+        interval = bootstrap_confidence_interval([0.2, 0.4, 0.6], rng=0)
+        formatted = interval.format(2)
+        assert "[" in formatted and "]" in formatted
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounds_within_sample_range(self, values):
+        interval = bootstrap_confidence_interval(values, num_samples=200, rng=3)
+        assert min(values) - 1e-9 <= interval.lower
+        assert interval.upper <= max(values) + 1e-9
+
+
+class TestPairedBootstrapTest:
+    def test_clear_advantage_is_significant(self):
+        rng = np.random.default_rng(11)
+        b = rng.uniform(0.0, 0.2, size=100)
+        a = b + 0.3
+        difference, p_value = paired_bootstrap_test(a, b, rng=4)
+        assert difference == pytest.approx(0.3)
+        assert p_value <= 0.01
+
+    def test_identical_systems_not_significant(self):
+        scores = np.linspace(0.0, 1.0, 50)
+        difference, p_value = paired_bootstrap_test(scores, scores, rng=5)
+        assert difference == pytest.approx(0.0)
+        assert p_value >= 0.05
+
+    def test_direction_handled_symmetrically(self):
+        rng = np.random.default_rng(13)
+        a = rng.uniform(0.0, 0.2, size=80)
+        b = a + 0.3
+        difference, p_value = paired_bootstrap_test(a, b, rng=6)
+        assert difference == pytest.approx(-0.3)
+        assert p_value <= 0.01
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([0.1, 0.2], [0.1], rng=0)
+        with pytest.raises(ValueError):
+            paired_bootstrap_test([], [], rng=0)
+
+
+class TestSignTest:
+    def test_all_wins_is_significant(self):
+        a = [1.0] * 12
+        b = [0.0] * 12
+        wins_a, wins_b, p_value = sign_test(a, b)
+        assert wins_a == 12
+        assert wins_b == 0
+        assert p_value < 0.01
+
+    def test_ties_only_gives_p_one(self):
+        wins_a, wins_b, p_value = sign_test([0.5] * 10, [0.5] * 10)
+        assert wins_a == wins_b == 0
+        assert p_value == 1.0
+
+    def test_balanced_split_not_significant(self):
+        a = [1.0, 0.0] * 10
+        b = [0.0, 1.0] * 10
+        _, _, p_value = sign_test(a, b)
+        assert p_value > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sign_test([1.0], [1.0, 2.0])

@@ -1,0 +1,161 @@
+"""Tests for ASCII charts, record export, and parameter sweeps."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.charts import ascii_bar_chart, ascii_histogram, ascii_line_chart
+from repro.analysis.export import (
+    load_records_json,
+    metrics_table,
+    records_to_csv,
+    records_to_json,
+    save_metrics_csv,
+)
+from repro.analysis.sweeps import SweepResult, run_sweep
+from repro.utils.tables import format_table
+
+
+class TestAsciiBarChart:
+    def test_each_label_gets_a_line(self):
+        chart = ascii_bar_chart(["MMKGR", "RLH"], [0.8, 0.6], title="Hits@1")
+        lines = chart.splitlines()
+        assert lines[0] == "Hits@1"
+        assert len(lines) == 3
+        assert "MMKGR" in lines[1]
+
+    def test_largest_value_gets_longest_bar(self):
+        chart = ascii_bar_chart(["a", "b"], [1.0, 0.5], width=20)
+        bar_a = chart.splitlines()[0].count("█")
+        bar_b = chart.splitlines()[1].count("█")
+        assert bar_a == 20
+        assert bar_b == 10
+
+    def test_zero_values_render_without_bars(self):
+        chart = ascii_bar_chart(["a"], [0.0])
+        assert "█" not in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0], width=0)
+
+    def test_empty_chart(self):
+        assert ascii_bar_chart([], [], title="empty") == "empty"
+
+
+class TestAsciiHistogram:
+    def test_bin_count_matches(self):
+        chart = ascii_histogram([0.1, 0.2, 0.3, 0.9], bins=4)
+        assert len(chart.splitlines()) == 4
+
+    def test_empty_sample(self):
+        assert ascii_histogram([], title="none") == "none"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([0.1], bins=0)
+
+
+class TestAsciiLineChart:
+    def test_contains_legend_and_bounds(self):
+        series = {"MMKGR": [(2, 0.5), (3, 0.7), (4, 0.72)], "RLH": [(2, 0.4), (3, 0.5), (4, 0.55)]}
+        chart = ascii_line_chart(series, width=30, height=8, title="Fig. 8")
+        assert "Fig. 8" in chart
+        assert "legend:" in chart
+        assert "MMKGR" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_empty_series(self):
+        assert ascii_line_chart({}, title="none") == "none"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"a": [(0, 0)]}, width=1)
+
+
+class TestExport:
+    def test_records_csv_round_trip(self, tmp_path):
+        records = [{"model": "MMKGR", "mrr": 0.5}, {"model": "RLH", "mrr": 0.4, "extra": 1}]
+        path = records_to_csv(records, tmp_path / "out.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["model"] == "MMKGR"
+        assert rows[0]["extra"] == ""
+        assert rows[1]["extra"] == "1"
+
+    def test_records_json_round_trip(self, tmp_path):
+        records = [{"model": "MMKGR", "mrr": 0.5}]
+        path = records_to_json(records, tmp_path / "out.json")
+        assert load_records_json(path) == records
+
+    def test_load_records_json_rejects_non_array(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"not": "a list"}))
+        with pytest.raises(ValueError):
+            load_records_json(path)
+
+    def test_metrics_table_layout(self):
+        results = {"MMKGR": {"mrr": 0.5, "hits@1": 0.4}, "RLH": {"mrr": 0.3}}
+        headers, rows = metrics_table(results)
+        assert headers == ["model", "mrr", "hits@1"]
+        assert rows[1][2] is None
+        # The layout must be accepted by the ASCII table renderer.
+        assert "MMKGR" in format_table(headers, rows)
+
+    def test_save_metrics_csv(self, tmp_path):
+        results = {"MMKGR": {"mrr": 0.5}}
+        path = save_metrics_csv(results, tmp_path / "metrics.csv")
+        content = path.read_text()
+        assert "model" in content and "MMKGR" in content
+
+
+class TestSweeps:
+    def test_cartesian_product_order_and_metrics(self):
+        result = run_sweep(
+            {"T": [2, 3], "u": [1.0]},
+            evaluate=lambda T, u: {"hits@1": T * u / 10.0},
+        )
+        assert len(result) == 2
+        assert result.records[0]["T"] == 2
+        assert result.metric_values("hits@1") == [0.2, 0.3]
+
+    def test_skip_rules_out_combinations(self):
+        result = run_sweep(
+            {"threshold": [2, 3, 4], "T": [3]},
+            evaluate=lambda threshold, T: {"hits@1": 0.1},
+            skip=lambda threshold, T: threshold > T,
+        )
+        assert len(result) == 2
+
+    def test_best_record(self):
+        result = run_sweep(
+            {"u": [1.0, 3.0, 6.0]},
+            evaluate=lambda u: {"hits@1": 1.0 - abs(u - 3.0) / 10.0},
+        )
+        assert result.best_record("hits@1")["u"] == 3.0
+        assert result.best_record("hits@1", maximize=False)["u"] in (1.0, 6.0)
+
+    def test_best_record_missing_metric(self):
+        result = SweepResult(parameter_names=["u"])
+        with pytest.raises(KeyError):
+            result.best_record("hits@1")
+
+    def test_series_and_grouped_series(self):
+        result = run_sweep(
+            {"model": ["MMKGR", "RLH"], "T": [2, 3]},
+            evaluate=lambda model, T: {"hits@1": (0.2 if model == "RLH" else 0.4) + T / 100.0},
+        )
+        series = result.grouped_series("model", "T", "hits@1")
+        assert set(series) == {"MMKGR", "RLH"}
+        assert len(series["MMKGR"]) == 2
+        flat = result.series("T", "hits@1")
+        assert len(flat) == 4
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep({}, evaluate=lambda: {"hits@1": 0.0})

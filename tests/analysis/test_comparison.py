@@ -1,0 +1,121 @@
+"""Tests for paired per-query comparison of reasoning agents."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.comparison import (
+    ComparisonResult,
+    compare_agents,
+    compare_scores,
+    per_query_reciprocal_ranks,
+)
+from repro.core.config import EvaluationConfig, MMKGRConfig
+from repro.core.evaluator import evaluate_entity_prediction
+from repro.core.model import MMKGRAgent
+from repro.features.extraction import FeatureStore
+from repro.rl.environment import MKGEnvironment
+
+
+@pytest.fixture(scope="module")
+def agents_and_environment(request):
+    dataset = request.getfixturevalue("tiny_dataset")
+    config = MMKGRConfig(
+        structural_dim=8, history_dim=8, auxiliary_dim=8, attention_dim=8,
+        joint_dim=8, policy_hidden_dim=16, max_steps=2, max_actions=8,
+    )
+    features = FeatureStore(dataset.mkg, structural_dim=8, rng=np.random.default_rng(0))
+    agent_a = MMKGRAgent(features, config=config, rng=0)
+    agent_b = MMKGRAgent(features, config=config, rng=99)
+    environment = MKGEnvironment(dataset.train_graph, max_steps=2, max_actions=8)
+    return dataset, agent_a, agent_b, environment
+
+
+class TestPerQueryReciprocalRanks:
+    def test_one_score_per_query_in_unit_interval(self, agents_and_environment):
+        dataset, agent_a, _, environment = agents_and_environment
+        triples = dataset.splits.test[:6]
+        scores = per_query_reciprocal_ranks(
+            agent_a, environment, triples, filter_graph=dataset.graph,
+            config=EvaluationConfig(beam_width=4),
+        )
+        assert len(scores) == len(triples)
+        assert all(0.0 < score <= 1.0 for score in scores)
+
+    def test_mean_matches_evaluator_mrr(self, agents_and_environment):
+        dataset, agent_a, _, environment = agents_and_environment
+        triples = dataset.splits.test[:6]
+        config = EvaluationConfig(beam_width=4)
+        scores = per_query_reciprocal_ranks(
+            agent_a, environment, triples, filter_graph=dataset.graph, config=config
+        )
+        metrics = evaluate_entity_prediction(
+            agent_a, environment, triples, filter_graph=dataset.graph, config=config
+        )
+        assert float(np.mean(scores)) == pytest.approx(metrics["mrr"])
+
+
+class TestCompareScores:
+    def test_identical_systems_not_significant(self):
+        scores = [0.1, 0.5, 1.0, 0.25] * 5
+        result = compare_scores(scores, scores, name_a="X", name_b="Y", rng=0)
+        assert result.mean_difference == pytest.approx(0.0)
+        assert not result.significant()
+        assert result.wins_a == result.wins_b == 0
+        assert result.ties == len(scores)
+
+    def test_clear_winner_is_significant(self):
+        worse = [0.1] * 30
+        better = [0.9] * 30
+        result = compare_scores(better, worse, name_a="MMKGR", name_b="OSKGR", rng=0)
+        assert result.mean_difference == pytest.approx(0.8)
+        assert result.significant()
+        assert result.wins_a == 30
+        assert "MMKGR" in result.render()
+
+    def test_summary_keys(self):
+        result = compare_scores([1.0, 0.5], [0.5, 0.25], name_a="a", name_b="b", rng=0)
+        summary = result.summary()
+        assert summary["queries"] == 2.0
+        assert summary["mrr_a"] == pytest.approx(0.75)
+        assert summary["wins_a"] == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_scores([1.0], [0.5, 0.25])
+        with pytest.raises(ValueError):
+            compare_scores([], [])
+
+
+class TestCompareAgents:
+    def test_paired_comparison_over_same_queries(self, agents_and_environment):
+        dataset, agent_a, agent_b, environment = agents_and_environment
+        result = compare_agents(
+            agent_a, agent_b, environment, dataset.splits.test,
+            name_a="init-0", name_b="init-99",
+            filter_graph=dataset.graph,
+            config=EvaluationConfig(beam_width=4),
+            max_queries=5,
+            num_samples=200,
+            rng=3,
+        )
+        assert isinstance(result, ComparisonResult)
+        assert result.num_queries == 5
+        assert 0.0 <= result.bootstrap_p_value <= 1.0
+        assert result.wins_a + result.wins_b + result.ties == 5
+
+    def test_agent_compared_with_itself_ties_everywhere(self, agents_and_environment):
+        dataset, agent_a, _, environment = agents_and_environment
+        result = compare_agents(
+            agent_a, agent_a, environment, dataset.splits.test[:4],
+            filter_graph=dataset.graph, config=EvaluationConfig(beam_width=4),
+            num_samples=100, rng=1,
+        )
+        assert result.ties == result.num_queries
+        assert result.mean_difference == pytest.approx(0.0)
+
+    def test_empty_queries_rejected(self, agents_and_environment):
+        _, agent_a, agent_b, environment = agents_and_environment
+        with pytest.raises(ValueError):
+            compare_agents(agent_a, agent_b, environment, [])

@@ -1,0 +1,166 @@
+"""Tests for the ``mmkgr`` command-line interface.
+
+The commands are exercised through :func:`repro.cli.main.main` with explicit
+argument lists; training commands use a tiny preset written to a JSON config
+file so every invocation stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.core.checkpoint import checkpoint_exists
+from repro.core.config_io import save_preset
+
+
+@pytest.fixture(scope="module")
+def tiny_preset_file(request, tmp_path_factory):
+    preset = request.getfixturevalue("tiny_preset")
+    path = tmp_path_factory.mktemp("config") / "tiny_preset.json"
+    save_preset(preset, path)
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def trained_checkpoint(tiny_preset_file, tmp_path_factory):
+    """One CLI-trained checkpoint shared by the evaluate/explain/fewshot tests."""
+    directory = tmp_path_factory.mktemp("checkpoints") / "mmkgr"
+    exit_code = main(
+        [
+            "train",
+            "--dataset", "wn9-img-txt",
+            "--scale", "0.2",
+            "--seed", "3",
+            "--config", tiny_preset_file,
+            "--output", str(directory),
+        ]
+    )
+    assert exit_code == 0
+    return str(directory)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "wn9-img-txt"
+        assert args.ablation == "MMKGR"
+        assert args.preset == "fast"
+
+
+class TestDatasetCommands:
+    def test_stats_prints_table(self, capsys):
+        exit_code = main(
+            ["dataset", "stats", "--name", "wn9-img-txt", "--scale", "0.2", "--cardinality"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "dataset statistics" in captured
+        assert "relation cardinality" in captured
+
+    def test_generate_writes_splits_and_config(self, tmp_path, capsys):
+        output = tmp_path / "export"
+        exit_code = main(
+            [
+                "dataset", "generate",
+                "--name", "wn9-img-txt",
+                "--scale", "0.2",
+                "--output", str(output),
+            ]
+        )
+        assert exit_code == 0
+        for name in ("train.tsv", "valid.tsv", "test.tsv", "dataset_config.json", "statistics.json"):
+            assert (output / name).exists()
+        statistics = json.loads((output / "statistics.json").read_text())
+        assert statistics["entities"] > 0
+
+
+class TestTrainEvaluateExplain:
+    def test_train_writes_checkpoint_and_prints_metrics(self, trained_checkpoint, capsys):
+        assert checkpoint_exists(trained_checkpoint)
+
+    def test_evaluate_from_checkpoint(self, trained_checkpoint, tmp_path, capsys):
+        csv_path = tmp_path / "metrics.csv"
+        exit_code = main(
+            ["evaluate", "--checkpoint", trained_checkpoint, "--csv", str(csv_path)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "entity link prediction" in captured
+        assert csv_path.exists()
+
+    def test_explain_from_checkpoint(self, trained_checkpoint, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = main(
+            [
+                "explain",
+                "--checkpoint", trained_checkpoint,
+                "--max-queries", "3",
+                "--output", str(report_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mined rules" in captured
+        payload = json.loads(report_path.read_text())
+        assert payload["summary"]["num_queries"] == 3.0
+
+    def test_fewshot_from_checkpoint(self, trained_checkpoint, capsys):
+        exit_code = main(
+            [
+                "fewshot",
+                "--checkpoint", trained_checkpoint,
+                "--support-size", "2",
+                "--max-relations", "1",
+                "--adaptation-epochs", "1",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "few-shot relations" in captured
+        assert "overall" in captured
+
+    def test_train_ablation_without_checkpoint(self, tiny_preset_file, capsys):
+        exit_code = main(
+            [
+                "train",
+                "--dataset", "wn9-img-txt",
+                "--scale", "0.2",
+                "--seed", "3",
+                "--ablation", "OSKGR",
+                "--config", tiny_preset_file,
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "OSKGR" in captured
+
+
+class TestBaselinesCommand:
+    def test_baselines_table_and_csv(self, tiny_preset_file, tmp_path, capsys):
+        csv_path = tmp_path / "baselines.csv"
+        exit_code = main(
+            [
+                "baselines",
+                "--dataset", "wn9-img-txt",
+                "--scale", "0.2",
+                "--seed", "3",
+                "--models", "MTRL,TransAE",
+                "--config", tiny_preset_file,
+                "--csv", str(csv_path),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "MTRL" in captured and "TransAE" in captured
+        assert csv_path.exists()

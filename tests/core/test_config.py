@@ -1,0 +1,61 @@
+"""Tests for configuration objects and presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    EvaluationConfig,
+    MMKGRConfig,
+    fast_preset,
+    paper_preset,
+)
+from repro.fusion.variants import FusionVariant
+
+
+def test_mmkgr_config_validation():
+    with pytest.raises(ValueError):
+        MMKGRConfig(structural_dim=0)
+    with pytest.raises(ValueError):
+        MMKGRConfig(max_steps=0)
+
+
+def test_fusion_variant_coercion_from_string():
+    config = MMKGRConfig(fusion_variant="structure_only")
+    assert config.fusion_variant is FusionVariant.STRUCTURE_ONLY
+
+
+def test_evaluation_config_validation():
+    with pytest.raises(ValueError):
+        EvaluationConfig(beam_width=0)
+    with pytest.raises(ValueError):
+        EvaluationConfig(max_queries=0)
+
+
+def test_paper_preset_matches_published_hyperparameters():
+    preset = paper_preset()
+    assert preset.model.max_steps == 4
+    assert preset.reward.distance_threshold == 3
+    assert preset.reward.bandwidth == pytest.approx(3.0)
+    assert (
+        preset.reward.lambda_destination,
+        preset.reward.lambda_distance,
+        preset.reward.lambda_diversity,
+    ) == (0.1, 0.8, 0.1)
+    assert preset.reinforce.batch_size == 128
+
+
+def test_fast_preset_is_smaller_than_paper():
+    fast = fast_preset()
+    paper = paper_preset()
+    assert fast.reinforce.epochs < paper.reinforce.epochs
+    assert fast.dataset_scale < paper.dataset_scale
+    assert fast.evaluation.beam_width < paper.evaluation.beam_width
+
+
+def test_with_overrides_returns_modified_copy():
+    preset = fast_preset()
+    modified = preset.with_overrides(dataset_scale=0.1)
+    assert modified.dataset_scale == 0.1
+    assert preset.dataset_scale != 0.1
+    assert modified.model is preset.model  # untouched fields are shared

@@ -1,0 +1,151 @@
+"""Tests for the MMKGR agent and the evaluation protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvaluationConfig, MMKGRConfig
+from repro.core.evaluator import (
+    evaluate_entity_prediction,
+    evaluate_relation_prediction,
+    hop_distribution,
+)
+from repro.core.model import MMKGRAgent
+from repro.features.extraction import FeatureStore, ModalityConfig
+from repro.fusion.variants import FusionVariant
+from repro.rl.environment import MKGEnvironment, Query
+
+
+@pytest.fixture(scope="module")
+def agent_env(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    features = FeatureStore(tiny_dataset.mkg, structural_dim=8, rng=np.random.default_rng(0))
+    config = MMKGRConfig(
+        structural_dim=8,
+        history_dim=8,
+        auxiliary_dim=8,
+        attention_dim=8,
+        joint_dim=8,
+        policy_hidden_dim=16,
+        max_steps=3,
+        max_actions=16,
+    )
+    agent = MMKGRAgent(features, config=config, rng=0)
+    environment = MKGEnvironment(tiny_dataset.train_graph, max_steps=3, max_actions=16)
+    return tiny_dataset, agent, environment
+
+
+class TestMMKGRAgent:
+    def test_structural_dim_follows_feature_store(self, tiny_dataset):
+        features = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        agent = MMKGRAgent(features, config=MMKGRConfig(structural_dim=99), rng=0)
+        assert agent.config.structural_dim == 8
+
+    def test_action_log_probs_normalise(self, agent_env):
+        dataset, agent, environment = agent_env
+        triple = dataset.splits.train[0]
+        query = Query(triple.head, triple.relation, triple.tail)
+        state = environment.reset(query)
+        agent.begin_episode(query)
+        actions = environment.available_actions(state)
+        log_probs = agent.action_log_probs(state, actions)
+        assert log_probs.shape == (len(actions),)
+        assert np.exp(log_probs.data).sum() == pytest.approx(1.0)
+
+    def test_action_probabilities_have_no_graph(self, agent_env):
+        dataset, agent, environment = agent_env
+        triple = dataset.splits.train[0]
+        query = Query(triple.head, triple.relation, triple.tail)
+        state = environment.reset(query)
+        agent.begin_episode(query)
+        probs = agent.action_probabilities(state, environment.available_actions(state))
+        assert isinstance(probs, np.ndarray)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_observe_step_changes_distribution(self, agent_env):
+        dataset, agent, environment = agent_env
+        triple = dataset.splits.train[0]
+        query = Query(triple.head, triple.relation, triple.tail)
+        state = environment.reset(query)
+        agent.begin_episode(query)
+        actions = environment.available_actions(state)
+        before = agent.action_probabilities(state, actions)
+        relation, entity = actions[0]
+        agent.observe_step(relation, entity)
+        after = agent.action_probabilities(state, actions)
+        assert not np.allclose(before, after)
+
+    def test_snapshot_restore(self, agent_env):
+        dataset, agent, environment = agent_env
+        triple = dataset.splits.train[0]
+        query = Query(triple.head, triple.relation, triple.tail)
+        agent.begin_episode(query)
+        snapshot = agent.snapshot()
+        agent.observe_step(0, 0)
+        agent.restore(snapshot)
+        np.testing.assert_allclose(agent.history_encoder.hidden.data, snapshot[0].reshape(-1))
+
+    def test_describe_mentions_variant_and_modalities(self, agent_env):
+        _, agent, _ = agent_env
+        description = agent.describe()
+        assert "full" in description
+        assert "structure+image+text" in description
+        assert agent.fusion_variant is FusionVariant.FULL
+
+    def test_parameters_cover_all_submodules(self, agent_env):
+        _, agent, _ = agent_env
+        names = {name.split(".")[0] for name, _ in agent.named_parameters()}
+        assert {"history_encoder", "fuser", "policy"} <= names
+
+
+class TestEvaluators:
+    def test_entity_prediction_metrics(self, agent_env):
+        dataset, agent, environment = agent_env
+        metrics = evaluate_entity_prediction(
+            agent,
+            environment,
+            dataset.splits.test[:8],
+            filter_graph=dataset.graph,
+            config=EvaluationConfig(beam_width=4),
+        )
+        assert set(metrics) == {"mrr", "hits@1", "hits@5", "hits@10"}
+        assert 0.0 <= metrics["mrr"] <= 1.0
+        assert metrics["hits@1"] <= metrics["hits@5"] <= metrics["hits@10"]
+
+    def test_entity_prediction_respects_max_queries(self, agent_env):
+        dataset, agent, environment = agent_env
+        metrics = evaluate_entity_prediction(
+            agent,
+            environment,
+            dataset.splits.test,
+            config=EvaluationConfig(beam_width=2, max_queries=3),
+            rng=0,
+        )
+        assert 0.0 <= metrics["mrr"] <= 1.0
+
+    def test_relation_prediction_map(self, agent_env):
+        dataset, agent, environment = agent_env
+        metrics = evaluate_relation_prediction(
+            agent,
+            environment,
+            dataset.splits.test[:3],
+            config=EvaluationConfig(beam_width=2),
+        )
+        assert "overall" in metrics
+        assert 0.0 <= metrics["overall"] <= 1.0
+
+    def test_hop_distribution_sums_to_one_when_successful(self, agent_env):
+        dataset, agent, environment = agent_env
+        distribution = hop_distribution(
+            agent,
+            environment,
+            dataset.splits.test[:10],
+            config=EvaluationConfig(beam_width=4),
+            max_hops=3,
+        )
+        proportions = [distribution[f"{h}_hops"] for h in range(1, 4)]
+        if distribution["success_count"] > 0:
+            assert sum(proportions) == pytest.approx(1.0)
+        else:
+            assert sum(proportions) == 0.0

@@ -1,0 +1,128 @@
+"""Tests for the training pipeline, ablation factory, and experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ablations import AblationName, build_ablation_pipeline
+from repro.core.experiment import ExperimentRunner
+from repro.core.results import PAPER_TABLE3, PAPER_TABLE5, table3_reference_rows
+from repro.core.trainer import MMKGRPipeline
+from repro.features.extraction import ModalityConfig
+from repro.fusion.variants import FusionVariant
+from repro.rl.rewards import CompositeReward, ZeroOneReward
+
+
+class TestPipeline:
+    def test_invalid_arguments(self, tiny_dataset, tiny_preset):
+        with pytest.raises(ValueError):
+            MMKGRPipeline(tiny_dataset, preset=tiny_preset, reward_scheme="bogus")
+        with pytest.raises(ValueError):
+            MMKGRPipeline(tiny_dataset, preset=tiny_preset, shaping_scorer="bogus")
+
+    def test_build_assembles_components(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        agent = pipeline.build()
+        assert pipeline.features.has_pretrained_structure
+        assert pipeline.environment.max_steps == tiny_preset.model.max_steps
+        assert isinstance(pipeline.reward, CompositeReward)
+        assert agent is pipeline.agent
+
+    def test_zero_one_reward_scheme(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(
+            tiny_dataset, preset=tiny_preset, reward_scheme="zero_one", shaping_scorer="none"
+        )
+        pipeline.build()
+        assert isinstance(pipeline.reward, ZeroOneReward)
+
+    def test_evaluate_before_training_raises(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        with pytest.raises(RuntimeError):
+            pipeline.evaluate()
+        with pytest.raises(RuntimeError):
+            pipeline.hop_distribution()
+
+    def test_full_run_produces_metrics_and_history(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        result = pipeline.run()
+        assert set(result.entity_metrics) == {"mrr", "hits@1", "hits@5", "hits@10"}
+        assert len(result.training_history.epoch_rewards) == tiny_preset.reinforce.epochs
+        assert 0.0 <= result.mrr <= 1.0
+        assert 0.0 <= result.hits(1) <= 1.0
+
+    def test_hop_distribution_after_training(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        pipeline.train()
+        distribution = pipeline.hop_distribution(max_hops=3)
+        assert set(distribution) == {"1_hops", "2_hops", "3_hops", "success_count"}
+
+
+class TestAblations:
+    @pytest.mark.parametrize(
+        "name, expectation",
+        [
+            (AblationName.OSKGR, "structure-only"),
+            (AblationName.STKGR, "structure+text"),
+            (AblationName.SIKGR, "structure+image"),
+            (AblationName.MMKGR, "structure+image+text"),
+        ],
+    )
+    def test_modality_ablations_configure_feature_store(
+        self, tiny_dataset, tiny_preset, name, expectation
+    ):
+        pipeline = build_ablation_pipeline(tiny_dataset, name, preset=tiny_preset)
+        assert pipeline.modalities.label == expectation
+
+    def test_fusion_ablations_set_variant(self, tiny_dataset, tiny_preset):
+        fakgr = build_ablation_pipeline(tiny_dataset, AblationName.FAKGR, preset=tiny_preset)
+        fgkgr = build_ablation_pipeline(tiny_dataset, AblationName.FGKGR, preset=tiny_preset)
+        assert fakgr.preset.model.fusion_variant is FusionVariant.NO_FILTRATION
+        assert fgkgr.preset.model.fusion_variant is FusionVariant.NO_ATTENTION
+
+    def test_reward_ablations_set_reward_config(self, tiny_dataset, tiny_preset):
+        dekgr = build_ablation_pipeline(tiny_dataset, AblationName.DEKGR, preset=tiny_preset)
+        dskgr = build_ablation_pipeline(tiny_dataset, AblationName.DSKGR, preset=tiny_preset)
+        dvkgr = build_ablation_pipeline(tiny_dataset, AblationName.DVKGR, preset=tiny_preset)
+        zokgr = build_ablation_pipeline(tiny_dataset, AblationName.ZOKGR, preset=tiny_preset)
+        assert not dekgr.preset.reward.use_distance and not dekgr.preset.reward.use_diversity
+        assert dskgr.preset.reward.use_distance and not dskgr.preset.reward.use_diversity
+        assert dvkgr.preset.reward.use_diversity and not dvkgr.preset.reward.use_distance
+        assert zokgr.reward_scheme == "zero_one"
+
+    def test_ablation_accepts_string_names(self, tiny_dataset, tiny_preset):
+        pipeline = build_ablation_pipeline(tiny_dataset, "OSKGR", preset=tiny_preset)
+        assert pipeline.modalities == ModalityConfig.structure_only()
+
+    def test_unknown_ablation_raises(self, tiny_dataset, tiny_preset):
+        with pytest.raises(ValueError):
+            build_ablation_pipeline(tiny_dataset, "NOPE", preset=tiny_preset)
+
+    def test_oskgr_run_produces_metrics(self, tiny_dataset, tiny_preset):
+        result = build_ablation_pipeline(
+            tiny_dataset, AblationName.OSKGR, preset=tiny_preset
+        ).run()
+        assert 0.0 <= result.entity_metrics["hits@1"] <= 1.0
+
+
+class TestExperimentRunner:
+    def test_dataset_cache(self, tiny_preset):
+        runner = ExperimentRunner(dataset_names=("wn9-img-txt",), preset=tiny_preset)
+        first = runner.dataset("wn9-img-txt")
+        assert runner.dataset("wn9-img-txt") is first
+
+    def test_table2_rows(self, tiny_preset):
+        runner = ExperimentRunner(dataset_names=("wn9-img-txt",), preset=tiny_preset)
+        rows = runner.table2_statistics()
+        assert len(rows) == 1
+        assert rows[0][1] > 0  # entity count
+
+    def test_reference_tables_are_consistent(self):
+        assert set(PAPER_TABLE3) == {"wn9-img-txt", "fb-img-txt"}
+        assert set(PAPER_TABLE5["wn9-img-txt"]) == {"OSKGR", "STKGR", "SIKGR", "MMKGR"}
+        rows = table3_reference_rows("wn9-img-txt")
+        assert any(row[0] == "MMKGR" for row in rows)
+        # MMKGR dominates every baseline in the published numbers.
+        mmkgr = PAPER_TABLE3["wn9-img-txt"]["MMKGR"]
+        for model, values in PAPER_TABLE3["wn9-img-txt"].items():
+            if model != "MMKGR":
+                assert mmkgr[0] > values[0]

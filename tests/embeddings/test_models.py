@@ -1,0 +1,92 @@
+"""Tests for DistMult, ComplEx, and ConvE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings import ComplEx, ConvE, DistMult, EmbeddingTrainer, EmbeddingTrainingConfig
+
+
+@pytest.fixture(params=["distmult", "complex"])
+def bilinear_model(request, tiny_graph):
+    if request.param == "distmult":
+        return DistMult(tiny_graph, embedding_dim=16, rng=0)
+    return ComplEx(tiny_graph, embedding_dim=8, rng=0)
+
+
+class TestBilinearModels:
+    def test_training_reduces_loss(self, bilinear_model):
+        trainer = EmbeddingTrainer(
+            bilinear_model,
+            EmbeddingTrainingConfig(epochs=20, batch_size=8, learning_rate=0.2),
+            rng=0,
+        )
+        result = trainer.fit()
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_score_tails_consistent_with_score_triple(self, bilinear_model, tiny_graph):
+        triple = tiny_graph.triples()[0]
+        scores = bilinear_model.score_tails(triple.head, triple.relation)
+        assert scores[triple.tail] == pytest.approx(
+            bilinear_model.score_triple(triple.head, triple.relation, triple.tail), rel=1e-6
+        )
+
+    def test_embedding_shapes(self, bilinear_model, tiny_graph):
+        assert bilinear_model.entity_embeddings.shape[0] == tiny_graph.num_entities
+        assert bilinear_model.relation_embeddings.shape[0] == tiny_graph.num_relations
+
+    def test_true_triples_beat_random_corruptions(self, bilinear_model, tiny_graph):
+        trainer = EmbeddingTrainer(
+            bilinear_model,
+            EmbeddingTrainingConfig(epochs=30, batch_size=8, learning_rate=0.2),
+            rng=0,
+        )
+        trainer.fit()
+        rng = np.random.default_rng(0)
+        wins = 0
+        trials = 40
+        triples = tiny_graph.triples()
+        for _ in range(trials):
+            triple = triples[rng.integers(len(triples))]
+            corrupt = int(rng.integers(tiny_graph.num_entities))
+            while tiny_graph.contains(triple.head, triple.relation, corrupt):
+                corrupt = int(rng.integers(tiny_graph.num_entities))
+            true_score = bilinear_model.score_triple(triple.head, triple.relation, triple.tail)
+            fake_score = bilinear_model.score_triple(triple.head, triple.relation, corrupt)
+            wins += int(true_score > fake_score)
+        assert wins / trials > 0.6
+
+
+class TestConvE:
+    def test_score_shapes(self, tiny_graph):
+        model = ConvE(tiny_graph, embedding_dim=16, rng=0)
+        scores = model.score_tails(0, 1)
+        assert scores.shape == (tiny_graph.num_entities,)
+
+    def test_probability_in_unit_interval(self, tiny_graph):
+        model = ConvE(tiny_graph, embedding_dim=16, rng=0)
+        assert 0.0 <= model.probability(0, 1, 2) <= 1.0
+
+    def test_training_reduces_bce(self, tiny_graph):
+        model = ConvE(tiny_graph, embedding_dim=16, rng=0)
+        triples = tiny_graph.triples()
+        first = model.train_step(triples, [], lr=5e-3)
+        for _ in range(10):
+            last = model.train_step(triples, [], lr=5e-3)
+        assert last < first
+
+    def test_trained_scorer_prefers_true_tails(self, tiny_graph):
+        model = ConvE(tiny_graph, embedding_dim=16, rng=0)
+        triples = tiny_graph.triples()
+        for _ in range(15):
+            model.train_step(triples, [], lr=5e-3)
+        triple = triples[0]
+        scores = model.score_tails(triple.head, triple.relation)
+        true_tails = tiny_graph.tails_for(triple.head, triple.relation)
+        best_true = max(scores[t] for t in true_tails)
+        assert best_true >= np.median(scores)
+
+    def test_embedding_dim_too_small_for_kernel_raises(self, tiny_graph):
+        with pytest.raises(ValueError):
+            ConvE(tiny_graph, embedding_dim=2, kernel_size=5, rng=0)

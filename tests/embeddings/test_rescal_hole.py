@@ -1,0 +1,142 @@
+"""Tests for the RESCAL and HolE embedding models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embeddings.hole import HolE, circular_convolution, circular_correlation
+from repro.embeddings.rescal import RESCAL
+from repro.embeddings.trainer import EmbeddingTrainer, EmbeddingTrainingConfig
+from repro.kg.sampling import NegativeSampler
+
+
+@pytest.fixture(params=[RESCAL, HolE], ids=["RESCAL", "HolE"])
+def model(request, tiny_graph):
+    return request.param(tiny_graph, embedding_dim=8, rng=0)
+
+
+class TestScoringConsistency:
+    def test_score_tails_matches_score_triple(self, model, tiny_graph):
+        triple = tiny_graph.triples()[0]
+        tails = model.score_tails(triple.head, triple.relation)
+        assert tails.shape == (tiny_graph.num_entities,)
+        assert tails[triple.tail] == pytest.approx(
+            model.score_triple(triple.head, triple.relation, triple.tail)
+        )
+
+    def test_score_heads_matches_score_triple(self, model, tiny_graph):
+        triple = tiny_graph.triples()[0]
+        heads = model.score_heads(triple.relation, triple.tail)
+        assert heads.shape == (tiny_graph.num_entities,)
+        assert heads[triple.head] == pytest.approx(
+            model.score_triple(triple.head, triple.relation, triple.tail)
+        )
+
+    def test_probability_in_unit_interval(self, model, tiny_graph):
+        triple = tiny_graph.triples()[0]
+        probability = model.probability(triple.head, triple.relation, triple.tail)
+        assert 0.0 < probability < 1.0
+
+    def test_embedding_shapes(self, model, tiny_graph):
+        assert model.entity_embeddings.shape[0] == tiny_graph.num_entities
+        assert model.relation_embeddings.shape[0] == tiny_graph.num_relations
+
+
+class TestTraining:
+    def _train(self, model, tiny_graph, epochs=15):
+        sampler = NegativeSampler(tiny_graph, rng=0)
+        triples = tiny_graph.triples()
+        losses = []
+        for _ in range(epochs):
+            negatives = [sampler.corrupt(t) for t in triples]
+            losses.append(model.train_step(triples, negatives, lr=0.1))
+        return losses
+
+    def test_training_reduces_loss(self, model, tiny_graph):
+        losses = self._train(model, tiny_graph)
+        assert losses[-1] < losses[0]
+
+    def test_training_separates_positive_and_corrupted(self, model, tiny_graph):
+        self._train(model, tiny_graph, epochs=25)
+        sampler = NegativeSampler(tiny_graph, rng=1)
+        positives, corrupted = [], []
+        for triple in tiny_graph.triples():
+            negative = sampler.corrupt(triple)
+            positives.append(model.score_triple(triple.head, triple.relation, triple.tail))
+            corrupted.append(model.score_triple(negative.head, negative.relation, negative.tail))
+        assert np.mean(positives) > np.mean(corrupted)
+
+    def test_embedding_trainer_integration(self, model, tiny_graph):
+        trainer = EmbeddingTrainer(
+            model, EmbeddingTrainingConfig(epochs=3, batch_size=8, learning_rate=0.1), rng=0
+        )
+        result = trainer.fit(tiny_graph.triples())
+        assert len(result.epoch_losses) == 3
+        assert np.isfinite(result.final_loss)
+
+
+class TestRescalSpecifics:
+    def test_relation_matrix_shape(self, tiny_graph):
+        model = RESCAL(tiny_graph, embedding_dim=6, rng=0)
+        matrix = model.relation_matrix(0)
+        assert matrix.shape == (6, 6)
+        assert model.relation_embeddings.shape == (tiny_graph.num_relations, 36)
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            RESCAL(tiny_graph, embedding_dim=0)
+
+
+class TestCircularOperators:
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fft_correlation_matches_direct_sum(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=dim)
+        b = rng.normal(size=dim)
+        direct = np.array(
+            [sum(a[i] * b[(i + k) % dim] for i in range(dim)) for k in range(dim)]
+        )
+        np.testing.assert_allclose(circular_correlation(a, b), direct, atol=1e-9)
+
+    @given(
+        st.integers(min_value=2, max_value=16),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fft_convolution_matches_direct_sum(self, dim, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=dim)
+        b = rng.normal(size=dim)
+        direct = np.array(
+            [sum(a[i] * b[(k - i) % dim] for i in range(dim)) for k in range(dim)]
+        )
+        np.testing.assert_allclose(circular_convolution(a, b), direct, atol=1e-9)
+
+    def test_hole_gradient_identities(self, tiny_graph):
+        """The analytic gradients used by HolE match finite differences."""
+        model = HolE(tiny_graph, embedding_dim=6, rng=3)
+        triple = tiny_graph.triples()[0]
+        h = model.entity_embeddings[triple.head].copy()
+        r = model.relation_embeddings[triple.relation].copy()
+        t = model.entity_embeddings[triple.tail].copy()
+
+        def score(hv, rv, tv):
+            return float(np.dot(rv, circular_correlation(hv, tv)))
+
+        eps = 1e-6
+        for index in range(6):
+            bump = np.zeros(6)
+            bump[index] = eps
+            grad_h = (score(h + bump, r, t) - score(h - bump, r, t)) / (2 * eps)
+            grad_t = (score(h, r, t + bump) - score(h, r, t - bump)) / (2 * eps)
+            grad_r = (score(h, r + bump, t) - score(h, r - bump, t)) / (2 * eps)
+            assert grad_h == pytest.approx(circular_correlation(r, t)[index], abs=1e-5)
+            assert grad_t == pytest.approx(circular_convolution(h, r)[index], abs=1e-5)
+            assert grad_r == pytest.approx(circular_correlation(h, t)[index], abs=1e-5)

@@ -1,0 +1,40 @@
+"""Tests for the embedding trainer and its configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.embeddings import EmbeddingTrainer, EmbeddingTrainingConfig, TransE
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EmbeddingTrainingConfig(epochs=0)
+    with pytest.raises(ValueError):
+        EmbeddingTrainingConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        EmbeddingTrainingConfig(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        EmbeddingTrainingConfig(lr_decay=0.0)
+
+
+def test_fit_records_one_loss_per_epoch(tiny_graph):
+    model = TransE(tiny_graph, embedding_dim=8, rng=0)
+    trainer = EmbeddingTrainer(model, EmbeddingTrainingConfig(epochs=4, batch_size=8), rng=0)
+    result = trainer.fit()
+    assert len(result.epoch_losses) == 4
+    assert result.final_loss == result.epoch_losses[-1]
+
+
+def test_fit_on_subset_of_triples(tiny_graph):
+    model = TransE(tiny_graph, embedding_dim=8, rng=0)
+    trainer = EmbeddingTrainer(model, EmbeddingTrainingConfig(epochs=2, batch_size=4), rng=0)
+    result = trainer.fit(tiny_graph.triples()[:4])
+    assert len(result.epoch_losses) == 2
+
+
+def test_fit_empty_triples_raises(tiny_graph):
+    model = TransE(tiny_graph, embedding_dim=8, rng=0)
+    trainer = EmbeddingTrainer(model, rng=0)
+    with pytest.raises(ValueError):
+        trainer.fit([])

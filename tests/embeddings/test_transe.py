@@ -1,0 +1,84 @@
+"""Tests for TransE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings import EmbeddingTrainer, EmbeddingTrainingConfig, TransE
+from repro.embeddings.evaluation import evaluate_embedding_model
+
+
+@pytest.fixture()
+def trained_transe(tiny_graph):
+    model = TransE(tiny_graph, embedding_dim=16, rng=0)
+    trainer = EmbeddingTrainer(
+        model, EmbeddingTrainingConfig(epochs=30, batch_size=8, learning_rate=0.1), rng=0
+    )
+    trainer.fit()
+    return model
+
+
+def test_embeddings_shapes(tiny_graph):
+    model = TransE(tiny_graph, embedding_dim=12, rng=0)
+    assert model.entity_embeddings.shape == (tiny_graph.num_entities, 12)
+    assert model.relation_embeddings.shape == (tiny_graph.num_relations, 12)
+
+
+def test_entities_stay_normalised(trained_transe):
+    norms = np.linalg.norm(trained_transe.entity_embeddings, axis=1)
+    np.testing.assert_allclose(norms, np.ones_like(norms), atol=1e-6)
+
+
+def test_training_reduces_loss(tiny_graph):
+    model = TransE(tiny_graph, embedding_dim=16, rng=0)
+    trainer = EmbeddingTrainer(
+        model, EmbeddingTrainingConfig(epochs=25, batch_size=8, learning_rate=0.1), rng=0
+    )
+    result = trainer.fit()
+    assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+
+def test_true_triples_score_higher_than_corruptions(trained_transe, tiny_graph):
+    wins = 0
+    total = 0
+    for triple in tiny_graph.triples():
+        true_score = trained_transe.score_triple(triple.head, triple.relation, triple.tail)
+        for corrupt_tail in range(tiny_graph.num_entities):
+            if tiny_graph.contains(triple.head, triple.relation, corrupt_tail):
+                continue
+            total += 1
+            if true_score > trained_transe.score_triple(triple.head, triple.relation, corrupt_tail):
+                wins += 1
+    assert wins / total > 0.7
+
+
+def test_score_tails_matches_score_triple(trained_transe, tiny_graph):
+    triple = tiny_graph.triples()[0]
+    scores = trained_transe.score_tails(triple.head, triple.relation)
+    assert scores[triple.tail] == pytest.approx(
+        trained_transe.score_triple(triple.head, triple.relation, triple.tail)
+    )
+
+
+def test_score_heads_matches_score_triple(trained_transe, tiny_graph):
+    triple = tiny_graph.triples()[0]
+    scores = trained_transe.score_heads(triple.relation, triple.tail)
+    assert scores[triple.head] == pytest.approx(
+        trained_transe.score_triple(triple.head, triple.relation, triple.tail)
+    )
+
+
+def test_probability_in_unit_interval(trained_transe):
+    assert 0.0 <= trained_transe.probability(0, 1, 2) <= 1.0
+
+
+def test_invalid_margin(tiny_graph):
+    with pytest.raises(ValueError):
+        TransE(tiny_graph, margin=0.0)
+
+
+def test_evaluation_protocol_returns_metrics(trained_transe, tiny_graph):
+    metrics = evaluate_embedding_model(trained_transe, tiny_graph.triples()[:5])
+    assert set(metrics) == {"mrr", "hits@1", "hits@5", "hits@10"}
+    assert 0.0 <= metrics["mrr"] <= 1.0

@@ -1,0 +1,140 @@
+"""Tests for the explainer over an (untrained) MMKGR agent.
+
+Explanations only require a working beam search, not a trained policy, so the
+fixture builds the agent directly without running the training pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import MMKGRConfig
+from repro.core.model import MMKGRAgent
+from repro.explain.explainer import Explainer, Explanation, explain_pipeline
+from repro.features.extraction import FeatureStore
+from repro.kg.graph import Triple
+from repro.rl.environment import MKGEnvironment, Query
+
+
+@pytest.fixture(scope="module")
+def explain_setup(request):
+    dataset = request.getfixturevalue("tiny_dataset")
+    features = FeatureStore(dataset.mkg, structural_dim=8, rng=np.random.default_rng(0))
+    config = MMKGRConfig(
+        structural_dim=8,
+        history_dim=8,
+        auxiliary_dim=8,
+        attention_dim=8,
+        joint_dim=8,
+        policy_hidden_dim=16,
+        max_steps=3,
+        max_actions=16,
+    )
+    agent = MMKGRAgent(features, config=config, rng=0)
+    environment = MKGEnvironment(dataset.train_graph, max_steps=3, max_actions=16)
+    explainer = Explainer(agent, environment, graph=dataset.graph, beam_width=4, top_k=3)
+    return dataset, explainer
+
+
+class TestExplainer:
+    def test_explain_triple_returns_explanation(self, explain_setup):
+        dataset, explainer = explain_setup
+        explanation = explainer.explain(dataset.splits.test[0])
+        assert isinstance(explanation, Explanation)
+        assert explanation.paths, "beam search should reach at least one entity"
+        assert explanation.predicted_entity_name is not None
+
+    def test_explain_accepts_query_objects(self, explain_setup):
+        dataset, explainer = explain_setup
+        triple = dataset.splits.test[0]
+        explanation = explainer.explain(Query(triple.head, triple.relation, triple.tail))
+        assert explanation.query.source == triple.head
+
+    def test_explain_rejects_other_types(self, explain_setup):
+        _, explainer = explain_setup
+        with pytest.raises(TypeError):
+            explainer.explain(("a", "b", "c"))
+
+    def test_paths_are_score_ordered(self, explain_setup):
+        dataset, explainer = explain_setup
+        explanation = explainer.explain(dataset.splits.test[0])
+        scores = [path.score for path in explanation.paths]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_k_limits_paths(self, explain_setup):
+        dataset, explainer = explain_setup
+        explanation = explainer.explain(dataset.splits.test[0])
+        assert len(explanation.paths) <= explainer.top_k
+
+    def test_answer_rank_consistent_with_correctness(self, explain_setup):
+        dataset, explainer = explain_setup
+        for triple in dataset.splits.test[:5]:
+            explanation = explainer.explain(triple)
+            if explanation.is_correct:
+                assert explanation.answer_rank == 1
+            elif explanation.answer_rank is not None:
+                assert explanation.answer_rank > 1
+
+    def test_supporting_path_reaches_answer(self, explain_setup):
+        dataset, explainer = explain_setup
+        for triple in dataset.splits.test[:5]:
+            explanation = explainer.explain(triple)
+            supporting = explanation.supporting_path()
+            if supporting is not None:
+                assert supporting.reached_entity_id == triple.tail
+
+    def test_render_contains_query_and_prediction(self, explain_setup):
+        dataset, explainer = explain_setup
+        explanation = explainer.explain(dataset.splits.test[0])
+        rendered = explanation.render()
+        assert explanation.source_name in rendered
+        assert explanation.query_relation_name in rendered
+
+    def test_to_dict_is_json_like(self, explain_setup):
+        import json
+
+        dataset, explainer = explain_setup
+        explanation = explainer.explain(dataset.splits.test[0])
+        payload = explanation.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_explain_triples_respects_max_queries(self, explain_setup):
+        dataset, explainer = explain_setup
+        explanations = explainer.explain_triples(dataset.splits.test, max_queries=3, rng=0)
+        assert len(explanations) == 3
+
+    def test_constructor_validation(self, explain_setup):
+        dataset, explainer = explain_setup
+        with pytest.raises(ValueError):
+            Explainer(explainer.agent, explainer.environment, beam_width=0)
+        with pytest.raises(ValueError):
+            Explainer(explainer.agent, explainer.environment, top_k=0)
+
+
+class TestExplainPipeline:
+    def test_requires_trained_pipeline(self, tiny_dataset, tiny_preset):
+        from repro.core.trainer import MMKGRPipeline
+
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        with pytest.raises(RuntimeError):
+            explain_pipeline(pipeline)
+
+    def test_explains_built_pipeline(self, tiny_dataset, tiny_preset):
+        from repro.core.trainer import MMKGRPipeline
+
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        pipeline.build()
+        explanations = explain_pipeline(pipeline, max_queries=2)
+        assert len(explanations) == 2
+        assert all(isinstance(e, Explanation) for e in explanations)
+
+    def test_explicit_triples_override_test_split(self, tiny_dataset, tiny_preset):
+        from repro.core.trainer import MMKGRPipeline
+
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        pipeline.build()
+        triples = [tiny_dataset.splits.train[0]]
+        explanations = explain_pipeline(pipeline, triples=triples)
+        assert len(explanations) == 1
+        assert explanations[0].query.source == triples[0].head

@@ -1,0 +1,124 @@
+"""Tests for symbolic reasoning paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explain.paths import PathStep, ReasoningPath, path_from_steps, paths_from_beam
+from repro.kg.graph import NO_OP_RELATION, inverse_relation_name
+from repro.rl.environment import Query
+
+
+@pytest.fixture
+def query(tiny_graph):
+    # (alice, lives_in, berlin) has the 2-hop support alice -works_for-> acme
+    # -located_in-> berlin.
+    return Query(
+        tiny_graph.entity_id("alice"),
+        tiny_graph.relation_id("lives_in"),
+        tiny_graph.entity_id("berlin"),
+    )
+
+
+@pytest.fixture
+def two_hop_steps(tiny_graph):
+    return [
+        (tiny_graph.relation_id("works_for"), tiny_graph.entity_id("acme")),
+        (tiny_graph.relation_id("located_in"), tiny_graph.entity_id("berlin")),
+    ]
+
+
+class TestPathStep:
+    def test_no_op_detection(self, tiny_graph):
+        step = PathStep(
+            relation_id=tiny_graph.relation_id(NO_OP_RELATION),
+            entity_id=0,
+            relation_name=NO_OP_RELATION,
+            entity_name="alice",
+        )
+        assert step.is_no_op
+        assert not step.is_inverse
+
+    def test_inverse_display(self, tiny_graph):
+        name = inverse_relation_name("works_for")
+        step = PathStep(
+            relation_id=tiny_graph.relation_id(name),
+            entity_id=0,
+            relation_name=name,
+            entity_name="alice",
+        )
+        assert step.is_inverse
+        assert step.display_relation == "works_for^-1"
+
+    def test_to_dict_keys(self, tiny_graph):
+        step = PathStep(
+            relation_id=tiny_graph.relation_id("works_for"),
+            entity_id=tiny_graph.entity_id("acme"),
+            relation_name="works_for",
+            entity_name="acme",
+        )
+        payload = step.to_dict()
+        assert payload["relation"] == "works_for"
+        assert payload["entity"] == "acme"
+        assert payload["is_inverse"] is False
+
+
+class TestReasoningPath:
+    def test_path_from_steps_resolves_names(self, tiny_graph, query, two_hop_steps):
+        path = path_from_steps(tiny_graph, query, two_hop_steps, score=-0.5)
+        assert path.source_name == "alice"
+        assert path.query_relation_name == "lives_in"
+        assert path.reached_entity_name == "berlin"
+        assert path.hops == 2
+        assert path.score == pytest.approx(-0.5)
+
+    def test_relation_signature_excludes_no_op(self, tiny_graph, query, two_hop_steps):
+        no_op = tiny_graph.no_op_relation_id
+        steps = two_hop_steps + [(no_op, tiny_graph.entity_id("berlin"))]
+        path = path_from_steps(tiny_graph, query, steps)
+        assert path.relation_signature() == ("works_for", "located_in")
+        assert path.hops == 2
+
+    def test_render_mentions_every_real_hop(self, tiny_graph, query, two_hop_steps):
+        path = path_from_steps(tiny_graph, query, two_hop_steps)
+        rendered = path.render()
+        assert "alice" in rendered
+        assert "works_for" in rendered
+        assert "berlin" in rendered
+
+    def test_empty_path_reaches_source(self, tiny_graph, query):
+        path = path_from_steps(tiny_graph, query, [])
+        assert path.reached_entity_id == query.source
+        assert path.hops == 0
+        assert "no hops" in path.render()
+
+    def test_to_dict_round_trips_structure(self, tiny_graph, query, two_hop_steps):
+        path = path_from_steps(tiny_graph, query, two_hop_steps, score=1.25)
+        payload = path.to_dict()
+        assert payload["hops"] == 2
+        assert payload["score"] == pytest.approx(1.25)
+        assert len(payload["steps"]) == 2
+
+
+class TestPathsFromBeam:
+    def test_paths_sorted_by_score(self, tiny_graph, query, two_hop_steps):
+        berlin = tiny_graph.entity_id("berlin")
+        paris = tiny_graph.entity_id("paris")
+        paris_steps = [(tiny_graph.relation_id("lives_in"), paris)]
+        log_probs = {berlin: -0.1, paris: -2.0}
+        beam_paths = {berlin: two_hop_steps, paris: paris_steps}
+        paths = paths_from_beam(tiny_graph, query, log_probs, beam_paths)
+        assert [p.reached_entity_id for p in paths] == [berlin, paris]
+
+    def test_top_k_truncates(self, tiny_graph, query, two_hop_steps):
+        berlin = tiny_graph.entity_id("berlin")
+        paris = tiny_graph.entity_id("paris")
+        paris_steps = [(tiny_graph.relation_id("lives_in"), paris)]
+        log_probs = {berlin: -0.1, paris: -2.0}
+        beam_paths = {berlin: two_hop_steps, paris: paris_steps}
+        paths = paths_from_beam(tiny_graph, query, log_probs, beam_paths, top_k=1)
+        assert len(paths) == 1
+
+    def test_top_k_must_be_positive(self, tiny_graph, query):
+        with pytest.raises(ValueError):
+            paths_from_beam(tiny_graph, query, {}, {}, top_k=0)

@@ -1,0 +1,151 @@
+"""Tests for rule aggregation and explanation reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explain.explainer import Explanation
+from repro.explain.paths import path_from_steps
+from repro.explain.report import ExplanationReport, build_report
+from repro.explain.rules import RelationRule, aggregate_rules, rule_coverage, rules_for_relation
+from repro.rl.environment import Query
+
+
+def _make_explanation(graph, source, relation, answer, steps, score=-0.2):
+    """Build an explanation whose single path follows ``steps``."""
+    query = Query(
+        graph.entity_id(source), graph.relation_id(relation), graph.entity_id(answer)
+    )
+    resolved = [(graph.relation_id(rel), graph.entity_id(ent)) for rel, ent in steps]
+    path = path_from_steps(graph, query, resolved, score=score)
+    return Explanation(
+        query=query,
+        source_name=source,
+        query_relation_name=relation,
+        answer_name=answer,
+        paths=[path],
+    )
+
+
+@pytest.fixture
+def composition_explanations(tiny_graph):
+    """Two correct and one incorrect explanation of the lives_in relation."""
+    correct_a = _make_explanation(
+        tiny_graph,
+        "alice",
+        "lives_in",
+        "berlin",
+        [("works_for", "acme"), ("located_in", "berlin")],
+    )
+    correct_b = _make_explanation(
+        tiny_graph,
+        "bob",
+        "lives_in",
+        "berlin",
+        [("works_for", "acme"), ("located_in", "berlin")],
+    )
+    wrong = _make_explanation(
+        tiny_graph,
+        "carol",
+        "lives_in",
+        "paris",
+        [("friend_of", "bob")],  # wrong path: ends at bob, not paris
+    )
+    return [correct_a, correct_b, wrong]
+
+
+class TestAggregateRules:
+    def test_composition_rule_has_support_two(self, composition_explanations):
+        rules = aggregate_rules(composition_explanations)
+        best = rules[0]
+        assert best.head == "lives_in"
+        assert best.body == ("works_for", "located_in")
+        assert best.support == 2
+        assert best.confidence == pytest.approx(1.0)
+
+    def test_incorrect_path_gets_zero_confidence(self, composition_explanations):
+        rules = aggregate_rules(composition_explanations)
+        wrong = [rule for rule in rules if rule.body == ("friend_of",)]
+        assert len(wrong) == 1
+        assert wrong[0].confidence == 0.0
+
+    def test_min_support_filters(self, composition_explanations):
+        rules = aggregate_rules(composition_explanations, min_support=2)
+        assert all(rule.support >= 2 for rule in rules)
+        assert len(rules) == 1
+
+    def test_min_support_validation(self, composition_explanations):
+        with pytest.raises(ValueError):
+            aggregate_rules(composition_explanations, min_support=0)
+
+    def test_rules_for_relation(self, composition_explanations):
+        rules = aggregate_rules(composition_explanations)
+        lives_in = rules_for_relation(rules, "lives_in", top_k=1)
+        assert len(lives_in) == 1
+        assert lives_in[0].head == "lives_in"
+        assert rules_for_relation(rules, "unknown_relation") == []
+
+    def test_rule_coverage_summary(self, composition_explanations):
+        rules = aggregate_rules(composition_explanations)
+        coverage = rule_coverage(rules)
+        assert coverage["num_rules"] == float(len(rules))
+        assert coverage["total_support"] == 3.0
+        assert 0.0 <= coverage["mean_confidence"] <= 1.0
+
+    def test_empty_input_gives_no_rules(self):
+        assert aggregate_rules([]) == []
+        coverage = rule_coverage([])
+        assert coverage["num_rules"] == 0.0
+        assert coverage["mean_confidence"] == 0.0
+
+
+class TestRelationRule:
+    def test_render_mentions_head_and_body(self):
+        rule = RelationRule(head="lives_in", body=("works_for", "located_in"),
+                            support=4, correct_support=3)
+        rendered = rule.render()
+        assert "lives_in" in rendered
+        assert "works_for" in rendered
+        assert rule.confidence == pytest.approx(0.75)
+        assert rule.length == 2
+
+    def test_zero_hop_rule_renders(self):
+        rule = RelationRule(head="lives_in", body=(), support=1, correct_support=0)
+        assert "stay at source" in rule.render()
+
+
+class TestExplanationReport:
+    def test_build_report_summary(self, composition_explanations):
+        report = build_report(composition_explanations, model_description="test-model")
+        summary = report.summary()
+        assert summary["num_queries"] == 3.0
+        assert summary["num_correct"] == 2.0
+        assert summary["accuracy"] == pytest.approx(2.0 / 3.0)
+        assert summary["2_hop_predictions"] == 2.0
+
+    def test_render_text_sections(self, composition_explanations):
+        report = build_report(composition_explanations, model_description="test-model")
+        text = report.render_text()
+        assert "per-query explanations" in text
+        assert "mined rules" in text
+        assert "test-model" in text
+
+    def test_json_round_trip(self, composition_explanations):
+        report = build_report(composition_explanations)
+        payload = json.loads(report.to_json())
+        assert len(payload["explanations"]) == 3
+        assert payload["summary"]["num_queries"] == 3.0
+
+    def test_save_json_and_text(self, composition_explanations, tmp_path):
+        report = build_report(composition_explanations)
+        json_path = report.save(tmp_path / "report.json")
+        text_path = report.save(tmp_path / "report.txt")
+        assert json.loads(json_path.read_text())["summary"]["num_queries"] == 3.0
+        assert "mined rules" in text_path.read_text()
+
+    def test_empty_report(self):
+        report = ExplanationReport()
+        assert report.summary()["num_queries"] == 0.0
+        assert "(no rules" in report.render_text()

@@ -1,0 +1,72 @@
+"""Tests for the feature store and modality configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.extraction import FeatureStore, ModalityConfig
+
+
+class TestModalityConfig:
+    def test_labels(self):
+        assert ModalityConfig.full().label == "structure+image+text"
+        assert ModalityConfig.structure_only().label == "structure-only"
+        assert ModalityConfig.no_image().label == "structure+text"
+        assert ModalityConfig.no_text().label == "structure+image"
+
+    def test_factories_set_flags(self):
+        assert not ModalityConfig.no_image().use_image
+        assert not ModalityConfig.no_text().use_text
+        assert not ModalityConfig.structure_only().use_image
+
+
+class TestFeatureStore:
+    def test_dimensions(self, tiny_dataset):
+        store = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        assert store.entity_embeddings.shape == (tiny_dataset.mkg.num_entities, 8)
+        assert store.image_dim == tiny_dataset.mkg.image_dim
+        assert store.text_dim == tiny_dataset.mkg.text_dim
+        assert store.auxiliary_dim == store.image_dim + store.text_dim
+
+    def test_invalid_structural_dim(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            FeatureStore(tiny_dataset.mkg, structural_dim=0)
+
+    def test_set_structural_embeddings(self, tiny_dataset):
+        store = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        entities = np.ones((tiny_dataset.mkg.num_entities, 8))
+        relations = np.ones((tiny_dataset.mkg.num_relations, 8))
+        store.set_structural_embeddings(entities, relations)
+        assert store.has_pretrained_structure
+        np.testing.assert_allclose(store.entity_embedding(0), np.ones(8))
+
+    def test_set_structural_embeddings_bad_shape(self, tiny_dataset):
+        store = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        with pytest.raises(ValueError):
+            store.set_structural_embeddings(np.ones((3, 8)), np.ones((3, 8)))
+
+    def test_modality_switch_zeroes_features(self, tiny_dataset):
+        store = FeatureStore(
+            tiny_dataset.mkg, structural_dim=8, modalities=ModalityConfig.structure_only()
+        )
+        np.testing.assert_allclose(store.image_feature(0), np.zeros(store.image_dim))
+        np.testing.assert_allclose(store.text_feature(0), np.zeros(store.text_dim))
+
+    def test_full_modalities_return_real_features(self, tiny_dataset):
+        store = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        assert np.abs(store.image_feature(0)).sum() > 0
+        assert np.abs(store.text_feature(0)).sum() > 0
+
+    def test_auxiliary_concatenation_order(self, tiny_dataset):
+        store = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        auxiliary = store.auxiliary_features(1)
+        np.testing.assert_allclose(auxiliary[: store.text_dim], store.text_feature(1))
+        np.testing.assert_allclose(auxiliary[store.text_dim :], store.image_feature(1))
+
+    def test_with_modalities_shares_embeddings(self, tiny_dataset):
+        store = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        restricted = store.with_modalities(ModalityConfig.no_text())
+        assert restricted.entity_embeddings is store.entity_embeddings
+        np.testing.assert_allclose(restricted.text_feature(0), np.zeros(store.text_dim))
+        assert np.abs(restricted.image_feature(0)).sum() > 0

@@ -1,0 +1,77 @@
+"""Tests for the synthetic image encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.image import SyntheticImageEncoder
+
+
+@pytest.fixture()
+def encoder() -> SyntheticImageEncoder:
+    return SyntheticImageEncoder(
+        latent_dim=8, feature_dim=16, informativeness=0.9, irrelevant_dim=4, rng=0
+    )
+
+
+def test_output_shape(encoder, rng):
+    feature = encoder.encode(0, rng.normal(size=8))
+    assert feature.shape == (16,)
+
+
+def test_signal_dim(encoder):
+    assert encoder.signal_dim == 12
+
+
+def test_deterministic_per_entity(encoder, rng):
+    latent = rng.normal(size=8)
+    np.testing.assert_allclose(encoder.encode(3, latent), encoder.encode(3, latent))
+
+
+def test_different_entities_differ(encoder, rng):
+    latent = rng.normal(size=8)
+    assert not np.allclose(encoder.encode(1, latent), encoder.encode(2, latent))
+
+
+def test_wrong_latent_shape_raises(encoder):
+    with pytest.raises(ValueError):
+        encoder.encode(0, np.zeros(5))
+
+
+def test_invalid_configuration():
+    with pytest.raises(ValueError):
+        SyntheticImageEncoder(latent_dim=0, feature_dim=8)
+    with pytest.raises(ValueError):
+        SyntheticImageEncoder(latent_dim=4, feature_dim=8, informativeness=2.0)
+    with pytest.raises(ValueError):
+        SyntheticImageEncoder(latent_dim=4, feature_dim=8, irrelevant_dim=8)
+
+
+def test_encode_matrix_shape(encoder, rng):
+    latents = rng.normal(size=(5, 8))
+    assert encoder.encode_matrix(latents).shape == (5, 16)
+
+
+def test_informativeness_controls_signal(rng):
+    """Higher informativeness -> image features track latent similarity better."""
+    latents = rng.normal(size=(30, 8))
+    informative = SyntheticImageEncoder(8, 16, informativeness=1.0, irrelevant_dim=0, rng=0)
+    noisy = SyntheticImageEncoder(8, 16, informativeness=0.0, irrelevant_dim=0, rng=0)
+
+    def alignment(encoder):
+        features = encoder.encode_matrix(latents)
+        latent_dist = np.linalg.norm(latents[:, None] - latents[None, :], axis=-1).ravel()
+        feature_dist = np.linalg.norm(features[:, None] - features[None, :], axis=-1).ravel()
+        return np.corrcoef(latent_dist, feature_dist)[0, 1]
+
+    assert alignment(informative) > alignment(noisy)
+
+
+def test_irrelevant_dims_are_shared_background(encoder, rng):
+    """The irrelevant channels are nearly identical across entities (background noise)."""
+    a = encoder.encode(0, rng.normal(size=8))
+    b = encoder.encode(1, rng.normal(size=8))
+    signal_diff = np.abs(a[:12] - b[:12]).mean()
+    background_diff = np.abs(a[12:] - b[12:]).mean()
+    assert background_diff < signal_diff

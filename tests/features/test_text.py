@@ -1,0 +1,113 @@
+"""Tests for the text feature encoder and description generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features.text import TextFeatureEncoder, describe_entity, tokenize
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Hello World_1!") == ["hello", "world_1"]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+class TestDescribeEntity:
+    def test_mentions_entity_and_neighbors(self):
+        text = describe_entity("db/titanic", 0, ["db/james_cameron", "db/kate_winslet"])
+        assert "titanic" in text
+        assert "james cameron" in text
+
+    def test_handles_no_neighbors(self):
+        text = describe_entity("db/solo", 1, [])
+        assert "itself" in text
+
+    def test_deterministic(self):
+        assert describe_entity("e", 2, ["n"]) == describe_entity("e", 2, ["n"])
+
+    def test_type_changes_template(self):
+        assert describe_entity("e", 0, ["n"]) != describe_entity("e", 3, ["n"])
+
+
+class TestTextFeatureEncoder:
+    corpus = [
+        "the movie titanic stars kate winslet and leonardo dicaprio",
+        "james cameron directed the movie titanic",
+        "kate winslet is an english actress known for period dramas",
+        "leonardo dicaprio is an american actor and film producer",
+        "the ship sank in the atlantic ocean",
+    ]
+
+    def test_fit_transform_shape(self):
+        encoder = TextFeatureEncoder(feature_dim=6, rng=0)
+        features = encoder.fit_transform(self.corpus)
+        assert features.shape == (5, 6)
+
+    def test_transform_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            TextFeatureEncoder(feature_dim=4).transform(["hello"])
+
+    def test_related_documents_are_closer(self):
+        encoder = TextFeatureEncoder(feature_dim=8, rng=0)
+        features = encoder.fit_transform(self.corpus)
+        titanic_pair = np.linalg.norm(features[0] - features[1])
+        unrelated_pair = np.linalg.norm(features[0] - features[4])
+        assert titanic_pair < unrelated_pair
+
+    def test_unknown_words_give_zero_vector(self):
+        encoder = TextFeatureEncoder(feature_dim=4, rng=0)
+        encoder.fit(self.corpus)
+        features = encoder.transform(["zzzz qqqq"])
+        np.testing.assert_allclose(features, np.zeros((1, 4)))
+
+    def test_word_vector_lookup(self):
+        encoder = TextFeatureEncoder(feature_dim=4, rng=0)
+        encoder.fit(self.corpus)
+        assert encoder.word_vector("titanic").shape == (4,)
+        with pytest.raises(KeyError):
+            encoder.word_vector("nonexistentword")
+
+    def test_vocabulary_size(self):
+        encoder = TextFeatureEncoder(feature_dim=4, rng=0)
+        encoder.fit(["a b c", "a b"])
+        assert encoder.vocabulary_size == 3
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            TextFeatureEncoder(feature_dim=4).fit(["", "..."])
+
+    def test_latent_mixing_controls_dependence_on_corpus(self, rng):
+        """informativeness=1.0 makes features depend only on the latents, 0.0 only on text."""
+        latents = rng.normal(size=(5, 6))
+        other_corpus = [doc.replace("titanic", "avatar") for doc in self.corpus]
+
+        def features(corpus, informativeness):
+            encoder = TextFeatureEncoder(feature_dim=6, rng=np.random.default_rng(0))
+            return encoder.fit_transform(corpus, latents=latents, informativeness=informativeness)
+
+        # Pure latent mixing: corpus content is irrelevant.
+        np.testing.assert_allclose(
+            features(self.corpus, 1.0), features(other_corpus, 1.0), atol=1e-9
+        )
+        # Pure text features: corpus content matters.
+        assert not np.allclose(features(self.corpus, 0.0), features(other_corpus, 0.0))
+
+    def test_invalid_informativeness(self, rng):
+        encoder = TextFeatureEncoder(feature_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            encoder.fit_transform(self.corpus, latents=rng.normal(size=(5, 3)), informativeness=1.5)
+
+    def test_latent_row_mismatch_raises(self, rng):
+        encoder = TextFeatureEncoder(feature_dim=4, rng=0)
+        with pytest.raises(ValueError):
+            encoder.fit_transform(self.corpus, latents=rng.normal(size=(3, 3)), informativeness=0.5)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            TextFeatureEncoder(feature_dim=0)
+        with pytest.raises(ValueError):
+            TextFeatureEncoder(feature_dim=4, window=0)

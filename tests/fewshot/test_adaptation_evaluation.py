@@ -1,0 +1,145 @@
+"""Tests for few-shot adaptation and the end-to-end few-shot protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvaluationConfig, MMKGRConfig
+from repro.core.model import MMKGRAgent
+from repro.core.trainer import MMKGRPipeline
+from repro.features.extraction import FeatureStore
+from repro.fewshot.adaptation import AdaptationConfig, FewShotAdapter
+from repro.fewshot.episodes import EpisodeSampler
+from repro.fewshot.evaluation import FewShotResult, evaluate_fewshot
+from repro.fewshot.splits import build_fewshot_split
+
+
+@pytest.fixture(scope="module")
+def fewshot_setup(request):
+    dataset = request.getfixturevalue("tiny_dataset")
+    features = FeatureStore(dataset.mkg, structural_dim=8, rng=np.random.default_rng(0))
+    config = MMKGRConfig(
+        structural_dim=8,
+        history_dim=8,
+        auxiliary_dim=8,
+        attention_dim=8,
+        joint_dim=8,
+        policy_hidden_dim=16,
+        max_steps=3,
+        max_actions=16,
+    )
+    agent = MMKGRAgent(features, config=config, rng=0)
+    split = build_fewshot_split(dataset, rng=0)
+    sampler = EpisodeSampler(split, support_size=2, max_query_size=4, rng=0)
+    tasks = sampler.all_tasks()
+    adapter = FewShotAdapter(
+        agent,
+        base_graph=dataset.train_graph,
+        filter_graph=dataset.graph,
+        max_steps=3,
+        max_actions=16,
+        evaluation=EvaluationConfig(beam_width=4, max_queries=4),
+        config=AdaptationConfig(imitation_epochs=1, batch_size=4),
+        rng=0,
+    )
+    return dataset, agent, tasks, adapter
+
+
+class TestAdaptationConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptationConfig(imitation_epochs=-1)
+        with pytest.raises(ValueError):
+            AdaptationConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            AdaptationConfig(batch_size=0)
+
+
+class TestFewShotAdapter:
+    def test_task_environment_contains_support_edges(self, fewshot_setup):
+        dataset, _, tasks, adapter = fewshot_setup
+        task = tasks[0]
+        environment = adapter.task_environment(task)
+        for triple in task.support:
+            assert environment.graph.contains(triple.head, triple.relation, triple.tail)
+        # The base training graph is left untouched and never shrinks.
+        assert environment.graph.num_triples >= dataset.train_graph.num_triples
+
+    def test_evaluate_without_adaptation_returns_metrics(self, fewshot_setup):
+        _, _, tasks, adapter = fewshot_setup
+        metrics = adapter.evaluate_without_adaptation(tasks[0])
+        assert set(metrics) == {"mrr", "hits@1", "hits@5", "hits@10"}
+        assert 0.0 <= metrics["mrr"] <= 1.0
+
+    def test_adaptation_restores_parameters(self, fewshot_setup):
+        _, agent, tasks, adapter = fewshot_setup
+        before = {key: value.copy() for key, value in agent.state_dict().items()}
+        adapter.adapt_and_evaluate(tasks[0])
+        after = agent.state_dict()
+        assert set(before) == set(after)
+        for key in before:
+            np.testing.assert_allclose(before[key], after[key])
+
+    def test_adapt_and_evaluate_returns_metrics(self, fewshot_setup):
+        _, _, tasks, adapter = fewshot_setup
+        metrics = adapter.adapt_and_evaluate(tasks[0])
+        assert 0.0 <= metrics["hits@1"] <= 1.0
+
+
+class TestFewShotResult:
+    def test_overall_and_rows(self):
+        result = FewShotResult(support_size=2)
+        result.add("rel_a", "support_edges", {"mrr": 0.2, "hits@1": 0.1})
+        result.add("rel_a", "adapted", {"mrr": 0.4, "hits@1": 0.3})
+        result.add("rel_b", "support_edges", {"mrr": 0.4, "hits@1": 0.2})
+        result.add("rel_b", "adapted", {"mrr": 0.6, "hits@1": 0.5})
+        assert result.overall("support_edges") == pytest.approx(0.3)
+        assert result.overall("adapted") == pytest.approx(0.5)
+        assert result.improvement() == pytest.approx(0.2)
+        rows = result.as_rows("mrr")
+        assert rows[-1][0] == "overall"
+        assert len(rows) == 3
+
+    def test_missing_regime_is_nan(self):
+        result = FewShotResult()
+        result.add("rel_a", "support_edges", {"mrr": 0.2})
+        assert np.isnan(result.overall("adapted"))
+
+
+class TestEvaluateFewshot:
+    def test_requires_trained_pipeline(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        with pytest.raises(RuntimeError):
+            evaluate_fewshot(pipeline)
+
+    def test_protocol_on_built_pipeline(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        pipeline.build()
+        result = evaluate_fewshot(
+            pipeline,
+            support_size=2,
+            max_relations=1,
+            max_queries_per_relation=3,
+            adaptation=AdaptationConfig(imitation_epochs=1, batch_size=4),
+            evaluation=EvaluationConfig(beam_width=4, max_queries=3),
+            rng=0,
+        )
+        assert result.relations
+        assert set(result.regimes()) == {"support_edges", "adapted"}
+        overall = result.overall("adapted")
+        assert 0.0 <= overall <= 1.0 or np.isnan(overall)
+
+    def test_protocol_without_adaptation(self, tiny_dataset, tiny_preset):
+        pipeline = MMKGRPipeline(tiny_dataset, preset=tiny_preset)
+        pipeline.build()
+        result = evaluate_fewshot(
+            pipeline,
+            support_size=2,
+            max_relations=1,
+            max_queries_per_relation=3,
+            include_adaptation=False,
+            evaluation=EvaluationConfig(beam_width=4, max_queries=3),
+            rng=0,
+        )
+        assert result.regimes() == ["support_edges"]

@@ -1,0 +1,144 @@
+"""Tests for few-shot relation splits and episode sampling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fewshot.episodes import EpisodeSampler, FewShotTask
+from repro.fewshot.splits import build_fewshot_split, relation_frequency_profile
+from repro.kg.graph import Triple, is_inverse_relation, NO_OP_RELATION
+
+
+class TestBuildFewShotSplit:
+    def test_partition_covers_relations(self, tiny_dataset):
+        split = build_fewshot_split(tiny_dataset, rng=0)
+        assert split.fewshot_relations
+        assert split.background_relations
+        assert not set(split.fewshot_relations) & set(split.background_relations)
+
+    def test_fewshot_relations_are_rarest(self, tiny_dataset):
+        split = build_fewshot_split(tiny_dataset, rng=0)
+        frequencies = tiny_dataset.graph.relation_frequencies()
+        fewshot_max = max(frequencies[r] for r in split.fewshot_relations)
+        eligible_background = [
+            r
+            for r in split.background_relations
+            if not is_inverse_relation(tiny_dataset.graph.relations.symbol(r))
+            and tiny_dataset.graph.relations.symbol(r) != NO_OP_RELATION
+            and frequencies.get(r, 0) >= 4
+        ]
+        if eligible_background:
+            background_max = max(frequencies[r] for r in eligible_background)
+            assert fewshot_max <= background_max
+
+    def test_background_triples_exclude_fewshot_relations(self, tiny_dataset):
+        split = build_fewshot_split(tiny_dataset, rng=0)
+        fewshot = set(split.fewshot_relations)
+        assert all(triple.relation not in fewshot for triple in split.background_triples)
+
+    def test_background_graph_walkable(self, tiny_dataset):
+        split = build_fewshot_split(tiny_dataset, rng=0)
+        graph = split.background_graph()
+        assert graph.num_triples == len(split.background_triples)
+        assert graph.num_entities == tiny_dataset.graph.num_entities
+
+    def test_explicit_frequency_threshold(self, tiny_dataset):
+        frequencies = tiny_dataset.graph.relation_frequencies()
+        threshold = sorted(frequencies.values())[len(frequencies) // 2]
+        split = build_fewshot_split(
+            tiny_dataset, max_relation_frequency=threshold, rng=0
+        )
+        assert all(frequencies[r] <= threshold for r in split.fewshot_relations)
+
+    def test_summary_counts(self, tiny_dataset):
+        split = build_fewshot_split(tiny_dataset, rng=0)
+        summary = split.summary()
+        assert summary["fewshot_relations"] == float(len(split.fewshot_relations))
+        assert summary["background_triples"] == float(len(split.background_triples))
+
+    def test_validation(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            build_fewshot_split(tiny_dataset, fewshot_fraction=0.0)
+        with pytest.raises(ValueError):
+            build_fewshot_split(tiny_dataset, min_triples_per_relation=1)
+
+    def test_unknown_relation_lookup(self, tiny_dataset):
+        split = build_fewshot_split(tiny_dataset, rng=0)
+        with pytest.raises(KeyError):
+            split.fewshot_triples(-1)
+
+
+class TestRelationFrequencyProfile:
+    def test_profile_sorted_rarest_first(self, tiny_dataset):
+        profile = relation_frequency_profile(tiny_dataset.graph)
+        counts = [record["count"] for record in profile]
+        assert counts == sorted(counts)
+
+    def test_profile_excludes_inverse_and_no_op(self, tiny_dataset):
+        profile = relation_frequency_profile(tiny_dataset.graph)
+        names = [record["relation"] for record in profile]
+        assert all(not is_inverse_relation(name) for name in names)
+        assert NO_OP_RELATION not in names
+
+
+class TestFewShotTask:
+    def test_overlap_rejected(self, tiny_graph):
+        relation = tiny_graph.relation_id("works_for")
+        triple = Triple(tiny_graph.entity_id("alice"), relation, tiny_graph.entity_id("acme"))
+        with pytest.raises(ValueError):
+            FewShotTask(relation, "works_for", support=[triple], query=[triple])
+
+    def test_wrong_relation_rejected(self, tiny_graph):
+        works_for = tiny_graph.relation_id("works_for")
+        lives_in = tiny_graph.relation_id("lives_in")
+        support = [Triple(tiny_graph.entity_id("alice"), works_for, tiny_graph.entity_id("acme"))]
+        query = [Triple(tiny_graph.entity_id("alice"), lives_in, tiny_graph.entity_id("berlin"))]
+        with pytest.raises(ValueError):
+            FewShotTask(works_for, "works_for", support=support, query=query)
+
+
+class TestEpisodeSampler:
+    @pytest.fixture
+    def split(self, tiny_dataset):
+        return build_fewshot_split(tiny_dataset, rng=0)
+
+    def test_all_tasks_disjoint_support_query(self, split):
+        sampler = EpisodeSampler(split, support_size=2, rng=0)
+        tasks = sampler.all_tasks()
+        assert tasks
+        for task in tasks:
+            assert task.support_size == 2
+            support_keys = {t.as_tuple() for t in task.support}
+            assert all(q.as_tuple() not in support_keys for q in task.query)
+
+    def test_task_for_relation_respects_max_query_size(self, split):
+        sampler = EpisodeSampler(split, support_size=2, max_query_size=1, rng=0)
+        relation = split.fewshot_relations[0]
+        if len(split.fewshot_triples(relation)) > 3:
+            task = sampler.task_for_relation(relation)
+            assert task.query_size == 1
+
+    def test_sample_task_is_reproducible(self, split):
+        task_a = EpisodeSampler(split, support_size=2, rng=42).sample_task()
+        task_b = EpisodeSampler(split, support_size=2, rng=42).sample_task()
+        assert task_a.relation_id == task_b.relation_id
+        assert [t.as_tuple() for t in task_a.support] == [t.as_tuple() for t in task_b.support]
+
+    def test_sample_tasks_count(self, split):
+        sampler = EpisodeSampler(split, support_size=2, rng=1)
+        assert len(sampler.sample_tasks(3)) == 3
+        with pytest.raises(ValueError):
+            sampler.sample_tasks(0)
+
+    def test_too_large_support_rejected(self, split):
+        relation = split.fewshot_relations[0]
+        size = len(split.fewshot_triples(relation))
+        sampler = EpisodeSampler(split, support_size=size, rng=0)
+        with pytest.raises(ValueError):
+            sampler.task_for_relation(relation)
+
+    def test_constructor_validation(self, split):
+        with pytest.raises(ValueError):
+            EpisodeSampler(split, support_size=0)
+        with pytest.raises(ValueError):
+            EpisodeSampler(split, support_size=1, max_query_size=0)

@@ -1,0 +1,87 @@
+"""Integration tests: full pipelines, ablation sweeps, experiment-runner slices.
+
+These exercise the same code paths as the benchmark harness, on the smallest
+possible configurations, so regressions in the cross-module plumbing are
+caught by ``pytest tests/`` without running the benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    AblationName,
+    ExperimentRunner,
+    MMKGRPipeline,
+    build_ablation_pipeline,
+    build_named_dataset,
+)
+from repro.core.experiment import DEFAULT_BASELINES
+
+
+@pytest.fixture(scope="module")
+def runner(request):
+    tiny_preset = request.getfixturevalue("tiny_preset")
+    return ExperimentRunner(dataset_names=("wn9-img-txt",), preset=tiny_preset, seed=1)
+
+
+class TestNamedDatasetPipelines:
+    def test_wn9_pipeline_end_to_end(self, tiny_preset):
+        dataset = build_named_dataset("wn9-img-txt", scale=0.2, seed=2)
+        result = MMKGRPipeline(dataset, preset=tiny_preset).run()
+        assert 0.0 <= result.entity_metrics["mrr"] <= 1.0
+
+    def test_fb_pipeline_end_to_end(self, tiny_preset):
+        dataset = build_named_dataset("fb-img-txt", scale=0.2, seed=2)
+        result = MMKGRPipeline(dataset, preset=tiny_preset).run()
+        assert 0.0 <= result.entity_metrics["mrr"] <= 1.0
+
+
+class TestAblationMatrix:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            AblationName.FAKGR,
+            AblationName.FGKGR,
+            AblationName.DEKGR,
+            AblationName.DSKGR,
+            AblationName.DVKGR,
+            AblationName.ZOKGR,
+            AblationName.STKGR,
+            AblationName.SIKGR,
+        ],
+    )
+    def test_each_ablation_trains_and_evaluates(self, tiny_dataset, tiny_preset, name):
+        result = build_ablation_pipeline(tiny_dataset, name, preset=tiny_preset).run()
+        assert set(result.entity_metrics) == {"mrr", "hits@1", "hits@5", "hits@10"}
+
+
+class TestExperimentRunnerSlices:
+    def test_default_baseline_list_matches_paper(self):
+        assert set(DEFAULT_BASELINES) == {"MTRL", "NeuralLP", "MINERVA", "FIRE", "GAATs", "RLH"}
+
+    def test_table3_slice(self, runner):
+        results = runner.table3_entity_link_prediction(
+            "wn9-img-txt", baselines=("MTRL",), include_mmkgr=True
+        )
+        assert set(results) == {"MTRL", "MMKGR"}
+        for metrics in results.values():
+            assert "hits@1" in metrics
+
+    def test_table5_slice(self, runner):
+        results = runner.table5_modality_ablation("wn9-img-txt")
+        assert set(results) == {"OSKGR", "STKGR", "SIKGR", "MMKGR"}
+
+    def test_table6_slice(self, runner):
+        results = runner.table6_step_threshold_sweep(
+            "wn9-img-txt", steps=(2,), thresholds=(2,)
+        )
+        assert (2, 2) in results
+
+    def test_fig11_slice(self, runner):
+        results = runner.fig11_bandwidth_sweep("wn9-img-txt", bandwidths=(3.0,))
+        assert 3.0 in results and "hits@1" in results[3.0]
+
+    def test_table8_slice(self, runner):
+        results = runner.table8_test_proportions("wn9-img-txt", proportions=(0.5,))
+        assert set(results[0.5]) == {"MMKGR", "OSKGR"}

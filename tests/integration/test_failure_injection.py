@@ -1,0 +1,151 @@
+"""Failure-injection and edge-case tests across module boundaries.
+
+These cover the unhappy paths a downstream user will hit first: malformed
+input files, empty or degenerate graphs, out-of-range queries, and disabled
+modalities — making sure every failure surfaces as a clear exception (or a
+well-defined neutral value) rather than silent misbehaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import EvaluationConfig, MMKGRConfig
+from repro.core.evaluator import evaluate_entity_prediction
+from repro.core.model import MMKGRAgent
+from repro.features.extraction import FeatureStore, ModalityConfig
+from repro.kg.datasets import SyntheticMKGConfig
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.io import load_graph, read_triples_tsv
+from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
+from repro.kg.splits import split_triples
+from repro.rl.environment import MKGEnvironment, Query
+
+
+class TestMalformedInputFiles:
+    def test_wrong_column_count_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tr\tb\nbroken line without tabs\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=":2"):
+            read_triples_tsv(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "sparse.tsv"
+        path.write_text("a\tr\tb\n\n\nc\tr\td\n", encoding="utf-8")
+        assert len(read_triples_tsv(path)) == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "does_not_exist.tsv")
+
+    def test_extra_columns_rejected(self, tmp_path):
+        path = tmp_path / "wide.tsv"
+        path.write_text("a\tr\tb\textra\n", encoding="utf-8")
+        with pytest.raises(ValueError):
+            read_triples_tsv(path)
+
+
+class TestDegenerateGraphs:
+    def test_split_of_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            split_triples(KnowledgeGraph())
+
+    def test_triple_with_unknown_entity_rejected(self):
+        graph = KnowledgeGraph()
+        graph.add_triple_by_name("a", "r", "b")
+        with pytest.raises(IndexError):
+            graph.add_triple(Triple(0, 1, 99))
+
+    def test_environment_rejects_out_of_range_source(self, tiny_graph):
+        environment = MKGEnvironment(tiny_graph, max_steps=3)
+        with pytest.raises(IndexError):
+            environment.reset(Query(10_000, 0, 0))
+
+    def test_dataset_config_rejects_tiny_graphs(self):
+        with pytest.raises(ValueError):
+            SyntheticMKGConfig(
+                name="too-small",
+                num_entities=5,
+                num_base_relations=3,
+                num_composed_relations=0,
+                avg_degree=2.0,
+            )
+
+    def test_stop_only_action_space_for_isolated_entity(self):
+        graph = KnowledgeGraph()
+        graph.add_entity("lonely")
+        graph.add_triple_by_name("a", "r", "b")
+        environment = MKGEnvironment(graph, max_steps=2)
+        state = environment.reset(Query(graph.entity_id("lonely"), 1, 0))
+        actions = environment.available_actions(state)
+        assert actions == [(graph.no_op_relation_id, graph.entity_id("lonely"))]
+
+
+class TestModalityEdgeCases:
+    def test_missing_modalities_yield_zero_rows(self, tiny_graph):
+        mkg = MultiModalKnowledgeGraph(tiny_graph, image_dim=4, text_dim=3)
+        mkg.attach_modalities(0, EntityModalities(image=np.ones(4), text=np.ones(3)))
+        image_matrix = mkg.image_matrix()
+        assert image_matrix[0].sum() == pytest.approx(4.0)
+        assert image_matrix[1].sum() == 0.0
+        assert mkg.coverage() < 1.0
+
+    def test_wrong_modality_dimension_rejected(self, tiny_graph):
+        mkg = MultiModalKnowledgeGraph(tiny_graph, image_dim=4, text_dim=3)
+        with pytest.raises(ValueError):
+            mkg.attach_modalities(0, EntityModalities(image=np.ones(5), text=np.ones(3)))
+
+    def test_disabled_modalities_return_zero_features(self, tiny_dataset):
+        store = FeatureStore(
+            tiny_dataset.mkg,
+            structural_dim=8,
+            modalities=ModalityConfig.structure_only(),
+        )
+        assert store.image_feature(0).sum() == 0.0
+        assert store.text_feature(0).sum() == 0.0
+        assert store.auxiliary_features(0).shape == (store.auxiliary_dim,)
+
+    def test_structural_embedding_shape_mismatch_rejected(self, tiny_dataset):
+        store = FeatureStore(tiny_dataset.mkg, structural_dim=8)
+        wrong = np.zeros((tiny_dataset.mkg.num_entities, 9))
+        relations = np.zeros((tiny_dataset.mkg.num_relations, 8))
+        with pytest.raises(ValueError):
+            store.set_structural_embeddings(wrong, relations)
+
+
+class TestEvaluationEdgeCases:
+    @pytest.fixture(scope="class")
+    def untrained_agent(self, request):
+        dataset = request.getfixturevalue("tiny_dataset")
+        features = FeatureStore(dataset.mkg, structural_dim=8, rng=np.random.default_rng(0))
+        config = MMKGRConfig(
+            structural_dim=8, history_dim=8, auxiliary_dim=8, attention_dim=8,
+            joint_dim=8, policy_hidden_dim=16, max_steps=2, max_actions=8,
+        )
+        agent = MMKGRAgent(features, config=config, rng=0)
+        environment = MKGEnvironment(dataset.train_graph, max_steps=2, max_actions=8)
+        return dataset, agent, environment
+
+    def test_empty_test_set_gives_zero_metrics(self, untrained_agent):
+        _, agent, environment = untrained_agent
+        metrics = evaluate_entity_prediction(agent, environment, [], config=EvaluationConfig(beam_width=2))
+        assert metrics["mrr"] == 0.0
+        assert metrics["hits@1"] == 0.0
+
+    def test_max_queries_subsamples_deterministically(self, untrained_agent):
+        dataset, agent, environment = untrained_agent
+        config = EvaluationConfig(beam_width=2, max_queries=3)
+        first = evaluate_entity_prediction(
+            agent, environment, dataset.splits.test, config=config, rng=5
+        )
+        second = evaluate_entity_prediction(
+            agent, environment, dataset.splits.test, config=config, rng=5
+        )
+        assert first == pytest.approx(second)
+
+    def test_invalid_evaluation_config_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationConfig(beam_width=0)
+        with pytest.raises(ValueError):
+            EvaluationConfig(max_queries=0)

@@ -1,0 +1,126 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.datasets import (
+    DATASET_REGISTRY,
+    SyntheticMKGConfig,
+    build_dataset,
+    build_named_dataset,
+    fb_img_txt_config,
+    paper_table2_reference,
+    wn9_img_txt_config,
+)
+
+
+class TestConfigs:
+    def test_registry_contains_both_datasets(self):
+        assert set(DATASET_REGISTRY) == {"wn9-img-txt", "fb-img-txt"}
+
+    def test_wn9_analogue_has_few_relations(self):
+        config = wn9_img_txt_config()
+        assert config.num_relations == 9  # matches the real WN9-IMG-TXT relation count
+
+    def test_fb_analogue_has_more_relations_and_entities(self):
+        wn9 = wn9_img_txt_config()
+        fb = fb_img_txt_config()
+        assert fb.num_relations > wn9.num_relations
+        assert fb.num_entities > wn9.num_entities
+        assert fb.images_per_entity > wn9.images_per_entity
+
+    def test_invalid_configs_raise(self):
+        with pytest.raises(ValueError):
+            SyntheticMKGConfig(name="x", num_entities=5, num_base_relations=3,
+                               num_composed_relations=1, avg_degree=2.0)
+        with pytest.raises(ValueError):
+            SyntheticMKGConfig(name="x", num_entities=50, num_base_relations=1,
+                               num_composed_relations=1, avg_degree=2.0)
+        with pytest.raises(ValueError):
+            SyntheticMKGConfig(name="x", num_entities=50, num_base_relations=3,
+                               num_composed_relations=1, avg_degree=2.0,
+                               modality_informativeness=1.5)
+
+
+class TestBuildDataset:
+    def test_statistics_match_config(self, tiny_dataset, tiny_dataset_config):
+        stats = tiny_dataset.statistics
+        assert stats.num_entities == tiny_dataset_config.num_entities
+        assert stats.num_relations == tiny_dataset_config.num_relations
+        assert stats.num_train > 0 and stats.num_test > 0
+
+    def test_modalities_attached_to_every_entity(self, tiny_dataset):
+        assert tiny_dataset.mkg.coverage() == pytest.approx(1.0)
+
+    def test_modal_dimensions(self, tiny_dataset, tiny_dataset_config):
+        assert tiny_dataset.mkg.image_dim == tiny_dataset_config.image_dim
+        assert tiny_dataset.mkg.text_dim == tiny_dataset_config.text_dim
+
+    def test_every_entity_has_outgoing_edges(self, tiny_dataset):
+        graph = tiny_dataset.graph
+        assert all(graph.degree(entity) > 0 for entity in range(graph.num_entities))
+
+    def test_composed_relations_have_supporting_paths(self, tiny_dataset):
+        """Most composed-relation facts are explainable by a 2-hop path."""
+        graph = tiny_dataset.graph
+        composed_ids = [
+            graph.relation_id(name)
+            for name in graph.relations.symbols()
+            if name.startswith("composed_rel_")
+        ]
+        composed_triples = [t for t in graph.triples() if t.relation in composed_ids]
+        assert composed_triples, "the generator must produce composed facts"
+        supported = 0
+        for triple in composed_triples[:30]:
+            paths = graph.paths_between(triple.head, triple.tail, max_hops=2, limit=5)
+            if any(len(path) == 2 for path in paths):
+                supported += 1
+        assert supported / min(30, len(composed_triples)) > 0.5
+
+    def test_deterministic_given_seed(self, tiny_dataset_config):
+        a = build_dataset(tiny_dataset_config)
+        b = build_dataset(tiny_dataset_config)
+        assert [t.as_tuple() for t in a.graph.triples()] == [
+            t.as_tuple() for t in b.graph.triples()
+        ]
+        np.testing.assert_allclose(a.mkg.image_matrix(), b.mkg.image_matrix())
+
+    def test_entity_latents_shape(self, tiny_dataset, tiny_dataset_config):
+        assert tiny_dataset.entity_latents.shape == (
+            tiny_dataset_config.num_entities,
+            tiny_dataset_config.latent_dim,
+        )
+
+    def test_image_features_correlate_with_latents(self, tiny_dataset):
+        """Entities with similar latents should have more similar image features."""
+        latents = tiny_dataset.entity_latents
+        images = tiny_dataset.mkg.image_matrix()
+        rng = np.random.default_rng(0)
+        wins = 0
+        trials = 30
+        for _ in range(trials):
+            a, b, c = rng.choice(latents.shape[0], size=3, replace=False)
+            latent_ab = np.linalg.norm(latents[a] - latents[b])
+            latent_ac = np.linalg.norm(latents[a] - latents[c])
+            image_ab = np.linalg.norm(images[a] - images[b])
+            image_ac = np.linalg.norm(images[a] - images[c])
+            if (latent_ab < latent_ac) == (image_ab < image_ac):
+                wins += 1
+        assert wins / trials > 0.6
+
+
+class TestNamedDatasets:
+    def test_build_named_dataset(self):
+        dataset = build_named_dataset("wn9-img-txt", scale=0.2)
+        assert dataset.statistics.num_relations == 9
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            build_named_dataset("unknown-dataset")
+
+    def test_paper_reference_rows(self):
+        rows = paper_table2_reference()
+        assert len(rows) == 2
+        assert rows[0][1] == 6555

@@ -1,0 +1,147 @@
+"""Tests for the structural knowledge graph."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.graph import (
+    NO_OP_RELATION,
+    KnowledgeGraph,
+    Triple,
+    inverse_relation_name,
+    is_inverse_relation,
+)
+
+
+class TestInverseNames:
+    def test_inverse_is_involutive(self):
+        assert inverse_relation_name(inverse_relation_name("likes")) == "likes"
+
+    def test_is_inverse(self):
+        assert is_inverse_relation(inverse_relation_name("likes"))
+        assert not is_inverse_relation("likes")
+
+
+class TestGraphConstruction:
+    def test_add_triple_by_name_builds_vocab(self, tiny_graph):
+        assert "alice" in tiny_graph.entities
+        assert "works_for" in tiny_graph.relations
+
+    def test_no_op_registered(self, tiny_graph):
+        assert tiny_graph.no_op_relation_id is not None
+        assert tiny_graph.relations.symbol(tiny_graph.no_op_relation_id) == NO_OP_RELATION
+
+    def test_duplicate_triples_ignored(self):
+        graph = KnowledgeGraph()
+        graph.add_triple_by_name("a", "r", "b")
+        graph.add_triple_by_name("a", "r", "b")
+        assert graph.num_triples == 1
+
+    def test_out_of_range_triple_raises(self):
+        graph = KnowledgeGraph()
+        graph.add_entity("a")
+        graph.add_relation("r")
+        with pytest.raises(IndexError):
+            graph.add_triple(Triple(0, 1, 99))
+
+    def test_contains_forward_and_inverse(self, tiny_graph):
+        alice = tiny_graph.entity_id("alice")
+        acme = tiny_graph.entity_id("acme")
+        works = tiny_graph.relation_id("works_for")
+        assert tiny_graph.contains(alice, works, acme)
+        inverse = tiny_graph.inverse_relation_id(works)
+        assert tiny_graph.contains(acme, inverse, alice)
+
+    def test_triples_counts_only_forward_facts(self, tiny_graph):
+        assert tiny_graph.num_triples == 12
+        assert len(tiny_graph.triples()) == 12
+        assert len(tiny_graph) == 12
+
+
+class TestAdjacency:
+    def test_outgoing_edges_include_inverse(self, tiny_graph):
+        acme = tiny_graph.entity_id("acme")
+        relations = {relation for relation, _ in tiny_graph.outgoing_edges(acme)}
+        inverse_works = tiny_graph.inverse_relation_id(tiny_graph.relation_id("works_for"))
+        assert tiny_graph.relation_id("located_in") in relations
+        assert inverse_works in relations
+
+    def test_neighbors(self, tiny_graph):
+        alice = tiny_graph.entity_id("alice")
+        names = {tiny_graph.entities.symbol(n) for n in tiny_graph.neighbors(alice)}
+        assert {"acme", "berlin", "bob"} <= names
+
+    def test_degree_matches_outgoing(self, tiny_graph):
+        for entity in range(tiny_graph.num_entities):
+            assert tiny_graph.degree(entity) == len(tiny_graph.outgoing_edges(entity))
+
+    def test_tails_for_query(self, tiny_graph):
+        alice = tiny_graph.entity_id("alice")
+        lives = tiny_graph.relation_id("lives_in")
+        tails = tiny_graph.tails_for(alice, lives)
+        assert tails == frozenset({tiny_graph.entity_id("berlin")})
+
+    def test_relation_frequencies(self, tiny_graph):
+        frequencies = tiny_graph.relation_frequencies()
+        works = tiny_graph.relation_id("works_for")
+        assert frequencies[works] == 3
+
+    def test_inverse_of_no_op_is_no_op(self, tiny_graph):
+        no_op = tiny_graph.no_op_relation_id
+        assert tiny_graph.inverse_relation_id(no_op) == no_op
+
+
+class TestSubgraphAndPaths:
+    def test_subgraph_shares_vocab_and_restricts_edges(self, tiny_graph):
+        subset = tiny_graph.triples()[:4]
+        subgraph = tiny_graph.subgraph(subset)
+        assert subgraph.num_entities == tiny_graph.num_entities
+        assert subgraph.num_triples == 4
+
+    def test_paths_between_finds_composition(self, tiny_graph):
+        alice = tiny_graph.entity_id("alice")
+        berlin = tiny_graph.entity_id("berlin")
+        paths = tiny_graph.paths_between(alice, berlin, max_hops=2)
+        # At least the 1-hop lives_in edge and the 2-hop works_for/located_in path.
+        assert any(len(p) == 1 for p in paths)
+        assert any(len(p) == 2 for p in paths)
+
+    def test_paths_between_invalid_hops(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.paths_between(0, 1, max_hops=0)
+
+    def test_paths_between_respects_limit(self, tiny_graph):
+        alice = tiny_graph.entity_id("alice")
+        berlin = tiny_graph.entity_id("berlin")
+        assert len(tiny_graph.paths_between(alice, berlin, max_hops=3, limit=1)) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=9),
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=9),
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_inverse_edges_are_consistent(raw_triples):
+    """For every forward edge there is an inverse edge and vice versa."""
+    graph = KnowledgeGraph()
+    for index in range(10):
+        graph.add_entity(f"e{index}")
+    for index in range(3):
+        graph.add_relation(f"r{index}")
+    for head, relation, tail in raw_triples:
+        graph.add_triple(Triple(head, graph.relation_id(f"r{relation}"), tail))
+
+    for triple in graph.triples():
+        inverse_relation = graph.inverse_relation_id(triple.relation)
+        assert graph.contains(triple.tail, inverse_relation, triple.head)
+        # The inverse edge appears in the tail entity's action space.
+        assert (inverse_relation, triple.head) in graph.outgoing_edges(triple.tail)

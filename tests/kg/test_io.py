@@ -1,0 +1,51 @@
+"""Tests for triple file IO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg.io import (
+    graph_from_string_triples,
+    graph_to_string_triples,
+    load_graph,
+    read_triples_tsv,
+    save_graph,
+    write_triples_tsv,
+)
+
+
+def test_write_and_read_roundtrip(tmp_path):
+    triples = [("a", "r1", "b"), ("b", "r2", "c")]
+    path = write_triples_tsv(tmp_path / "triples.tsv", triples)
+    assert read_triples_tsv(path) == triples
+
+
+def test_read_skips_blank_lines(tmp_path):
+    path = tmp_path / "triples.tsv"
+    path.write_text("a\tr\tb\n\n\nc\tr\td\n", encoding="utf-8")
+    assert len(read_triples_tsv(path)) == 2
+
+
+def test_read_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("a\tr\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        read_triples_tsv(path)
+
+
+def test_graph_from_string_triples():
+    graph = graph_from_string_triples([("a", "r", "b"), ("b", "r", "c")])
+    assert graph.num_entities == 3
+    assert graph.num_triples == 2
+
+
+def test_graph_roundtrip_through_files(tmp_path, tiny_graph):
+    path = save_graph(tiny_graph, tmp_path / "graph.tsv")
+    reloaded = load_graph(path)
+    assert reloaded.num_triples == tiny_graph.num_triples
+    assert set(graph_to_string_triples(reloaded)) == set(graph_to_string_triples(tiny_graph))
+
+
+def test_write_creates_parent_dirs(tmp_path):
+    path = write_triples_tsv(tmp_path / "deep" / "dir" / "t.tsv", [("a", "r", "b")])
+    assert path.exists()

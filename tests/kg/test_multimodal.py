@@ -1,0 +1,89 @@
+"""Tests for the multi-modal knowledge graph wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
+
+
+@pytest.fixture()
+def small_mkg(tiny_graph) -> MultiModalKnowledgeGraph:
+    mkg = MultiModalKnowledgeGraph(tiny_graph, image_dim=4, text_dim=3, name="test")
+    rng = np.random.default_rng(0)
+    for entity in range(tiny_graph.num_entities):
+        mkg.attach_modalities(
+            entity,
+            EntityModalities(
+                image=rng.normal(size=4), text=rng.normal(size=3), description=f"entity {entity}"
+            ),
+        )
+    return mkg
+
+
+class TestEntityModalities:
+    def test_validates_dimensions(self):
+        with pytest.raises(ValueError):
+            EntityModalities(image=np.zeros((2, 2)), text=np.zeros(3))
+
+    def test_validates_num_images(self):
+        with pytest.raises(ValueError):
+            EntityModalities(image=np.zeros(3), text=np.zeros(3), num_images=-1)
+
+    def test_casts_to_float(self):
+        modality = EntityModalities(image=[1, 2], text=[3, 4])
+        assert modality.image.dtype == np.float64
+
+
+class TestMultiModalKnowledgeGraph:
+    def test_dimension_validation_on_attach(self, tiny_graph):
+        mkg = MultiModalKnowledgeGraph(tiny_graph, image_dim=4, text_dim=3)
+        with pytest.raises(ValueError):
+            mkg.attach_modalities(0, EntityModalities(image=np.zeros(5), text=np.zeros(3)))
+
+    def test_attach_out_of_range_entity(self, tiny_graph):
+        mkg = MultiModalKnowledgeGraph(tiny_graph, image_dim=4, text_dim=3)
+        with pytest.raises(IndexError):
+            mkg.attach_modalities(999, EntityModalities(image=np.zeros(4), text=np.zeros(3)))
+
+    def test_invalid_dims_at_construction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            MultiModalKnowledgeGraph(tiny_graph, image_dim=0, text_dim=3)
+
+    def test_modalities_lookup(self, small_mkg):
+        modality = small_mkg.modalities(0)
+        assert modality.image.shape == (4,)
+        assert small_mkg.has_modalities(0)
+
+    def test_missing_modalities_raise(self, tiny_graph):
+        mkg = MultiModalKnowledgeGraph(tiny_graph, image_dim=4, text_dim=3)
+        assert not mkg.has_modalities(0)
+        with pytest.raises(KeyError):
+            mkg.modalities(0)
+
+    def test_coverage(self, small_mkg, tiny_graph):
+        assert small_mkg.coverage() == pytest.approx(1.0)
+        empty = MultiModalKnowledgeGraph(tiny_graph, image_dim=4, text_dim=3)
+        assert empty.coverage() == 0.0
+
+    def test_feature_matrices_shapes(self, small_mkg):
+        assert small_mkg.image_matrix().shape == (small_mkg.num_entities, 4)
+        assert small_mkg.text_matrix().shape == (small_mkg.num_entities, 3)
+
+    def test_matrix_rows_match_lookup(self, small_mkg):
+        np.testing.assert_allclose(small_mkg.image_matrix()[2], small_mkg.image_feature(2))
+        np.testing.assert_allclose(small_mkg.text_matrix()[2], small_mkg.text_feature(2))
+
+    def test_passthrough_methods(self, small_mkg, tiny_graph):
+        alice = tiny_graph.entity_id("alice")
+        assert small_mkg.outgoing_edges(alice) == tiny_graph.outgoing_edges(alice)
+        assert small_mkg.neighbors(alice) == tiny_graph.neighbors(alice)
+        assert small_mkg.num_relations == tiny_graph.num_relations
+        assert small_mkg.num_triples == tiny_graph.num_triples
+
+    def test_statistics_layout(self, small_mkg):
+        stats = small_mkg.statistics()
+        assert stats["entities"] == small_mkg.num_entities
+        assert stats["modal_coverage"] == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for negative sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.sampling import NegativeSampler
+
+
+class TestCorrupt:
+    def test_corrupt_tail_changes_tail(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0)
+        triple = tiny_graph.triples()[0]
+        corrupted = sampler.corrupt(triple, corrupt_tail=True)
+        assert corrupted.head == triple.head
+        assert corrupted.relation == triple.relation
+
+    def test_corrupt_head_changes_head(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0)
+        triple = tiny_graph.triples()[0]
+        corrupted = sampler.corrupt(triple, corrupt_tail=False)
+        assert corrupted.tail == triple.tail
+
+    def test_filtered_corruptions_are_not_facts(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0, filtered=True)
+        for triple in tiny_graph.triples():
+            corrupted = sampler.corrupt(triple)
+            assert not tiny_graph.contains(corrupted.head, corrupted.relation, corrupted.tail)
+
+    def test_unfiltered_returns_first_sample(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0, filtered=False)
+        corrupted = sampler.corrupt(tiny_graph.triples()[0])
+        assert 0 <= corrupted.tail < tiny_graph.num_entities
+
+
+class TestBatches:
+    def test_corrupt_batch_pairs(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0)
+        triples = tiny_graph.triples()[:5]
+        pairs = sampler.corrupt_batch(triples, negatives_per_positive=2)
+        assert len(pairs) == 10
+        assert all(positive in triples for positive, _ in pairs)
+
+    def test_invalid_negatives_count(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0)
+        with pytest.raises(ValueError):
+            sampler.corrupt_batch(tiny_graph.triples(), negatives_per_positive=0)
+
+
+class TestCandidateTails:
+    def test_excludes_known_answers(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0)
+        alice = tiny_graph.entity_id("alice")
+        lives = tiny_graph.relation_id("lives_in")
+        candidates = sampler.candidate_tails(alice, lives, num_candidates=5)
+        known = tiny_graph.tails_for(alice, lives)
+        assert not set(candidates.tolist()) & set(known)
+
+    def test_returns_array(self, tiny_graph):
+        sampler = NegativeSampler(tiny_graph, rng=0)
+        candidates = sampler.candidate_tails(0, 1, num_candidates=3)
+        assert isinstance(candidates, np.ndarray)

@@ -1,0 +1,70 @@
+"""Tests for dataset splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kg.splits import queries_from_triples, sample_triples, split_triples
+
+
+class TestSplitTriples:
+    def test_partition_is_disjoint_and_complete(self, tiny_graph):
+        splits = split_triples(tiny_graph, valid_fraction=0.2, test_fraction=0.2, rng=0)
+        all_keys = [t.as_tuple() for t in splits.all_triples()]
+        assert len(all_keys) == tiny_graph.num_triples
+        assert len(set(all_keys)) == len(all_keys)
+
+    def test_sizes_roughly_match_fractions(self, tiny_graph):
+        splits = split_triples(tiny_graph, valid_fraction=0.2, test_fraction=0.2, rng=0)
+        sizes = splits.sizes()
+        assert sizes["train"] >= sizes["valid"]
+        assert sizes["train"] >= sizes["test"]
+
+    def test_entity_coverage_in_train(self, tiny_dataset):
+        """Every entity/relation in held-out triples also appears in training."""
+        splits = tiny_dataset.splits
+        train_entities = set()
+        train_relations = set()
+        for triple in splits.train:
+            train_entities.update((triple.head, triple.tail))
+            train_relations.add(triple.relation)
+        for triple in splits.valid + splits.test:
+            assert triple.head in train_entities
+            assert triple.tail in train_entities
+            assert triple.relation in train_relations
+
+    def test_train_graph_excludes_heldout_edges(self, tiny_graph):
+        splits = split_triples(tiny_graph, valid_fraction=0.2, test_fraction=0.2, rng=0)
+        for triple in splits.test:
+            assert not splits.train_graph.contains(triple.head, triple.relation, triple.tail)
+
+    def test_invalid_fractions_raise(self, tiny_graph):
+        with pytest.raises(ValueError):
+            split_triples(tiny_graph, valid_fraction=0.6, test_fraction=0.6)
+        with pytest.raises(ValueError):
+            split_triples(tiny_graph, valid_fraction=-0.1, test_fraction=0.1)
+
+    def test_deterministic_given_seed(self, tiny_graph):
+        a = split_triples(tiny_graph, rng=5)
+        b = split_triples(tiny_graph, rng=5)
+        assert [t.as_tuple() for t in a.test] == [t.as_tuple() for t in b.test]
+
+
+class TestHelpers:
+    def test_queries_from_triples(self, tiny_graph):
+        triples = tiny_graph.triples()[:3]
+        queries = queries_from_triples(triples)
+        assert queries[0] == triples[0].as_tuple()
+
+    def test_sample_triples_size(self, tiny_graph):
+        triples = tiny_graph.triples()
+        subset = sample_triples(triples, 0.5, rng=0)
+        assert len(subset) == round(0.5 * len(triples))
+
+    def test_sample_triples_full(self, tiny_graph):
+        triples = tiny_graph.triples()
+        assert len(sample_triples(triples, 1.0, rng=0)) == len(triples)
+
+    def test_sample_triples_invalid_fraction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            sample_triples(tiny_graph.triples(), 0.0)

@@ -1,0 +1,126 @@
+"""Tests for knowledge-graph structural statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import KnowledgeGraph, Triple
+from repro.kg.statistics import (
+    degree_statistics,
+    describe_dataset,
+    describe_graph,
+    forward_relation_ids,
+    graph_density,
+    multihop_answerable_fraction,
+    relation_cardinality,
+    relation_frequency_summary,
+)
+
+
+class TestDegreeAndDensity:
+    def test_degree_statistics_tiny_graph(self, tiny_graph):
+        stats = degree_statistics(tiny_graph)
+        assert stats["max"] >= stats["mean"] >= stats["min"]
+        assert stats["isolated"] == 0.0
+
+    def test_density_in_unit_interval(self, tiny_graph):
+        density = graph_density(tiny_graph)
+        assert 0.0 < density < 1.0
+
+    def test_density_of_trivial_graph(self):
+        graph = KnowledgeGraph()
+        graph.add_entity("only")
+        assert graph_density(graph) == 0.0
+
+    def test_empty_graph_degree_statistics(self):
+        graph = KnowledgeGraph()
+        stats = degree_statistics(graph)
+        assert stats["mean"] == 0.0
+
+
+class TestForwardRelations:
+    def test_excludes_inverse_and_no_op(self, tiny_graph):
+        forward = forward_relation_ids(tiny_graph)
+        names = [tiny_graph.relations.symbol(r) for r in forward]
+        assert "works_for" in names
+        assert all(not name.startswith("inv::") for name in names)
+        assert "NO_OP" not in names
+
+
+class TestRelationCardinality:
+    def test_many_to_one_relation_detected(self):
+        graph = KnowledgeGraph()
+        # Many employees -> one employer: N-1.
+        for index in range(6):
+            graph.add_triple_by_name(f"person_{index}", "works_for", "acme")
+        # One-to-one marriages.
+        graph.add_triple_by_name("a", "married_to", "b")
+        graph.add_triple_by_name("c", "married_to", "d")
+        cardinality = relation_cardinality(graph)
+        assert cardinality["works_for"] == "N-1"
+        assert cardinality["married_to"] == "1-1"
+
+    def test_one_to_many_relation_detected(self):
+        graph = KnowledgeGraph()
+        for index in range(5):
+            graph.add_triple_by_name("acme", "employs", f"person_{index}")
+        assert relation_cardinality(graph)["employs"] == "1-N"
+
+
+class TestRelationFrequencySummary:
+    def test_summary_fields(self, tiny_graph):
+        summary = relation_frequency_summary(tiny_graph)
+        assert summary["relations"] > 0
+        assert summary["max"] >= summary["mean"] >= summary["min"]
+        assert 0.0 <= summary["gini"] <= 1.0
+
+    def test_uniform_frequencies_have_low_gini(self):
+        graph = KnowledgeGraph()
+        for relation in ("r1", "r2", "r3"):
+            for index in range(4):
+                graph.add_triple_by_name(f"h_{relation}_{index}", relation, f"t_{relation}_{index}")
+        assert relation_frequency_summary(graph)["gini"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestMultihopAnswerable:
+    def test_composed_fact_is_answerable(self, tiny_graph):
+        # (alice, lives_in, berlin) has the alternative 2-hop path via acme.
+        alice = tiny_graph.entity_id("alice")
+        berlin = tiny_graph.entity_id("berlin")
+        lives_in = tiny_graph.relation_id("lives_in")
+        fraction = multihop_answerable_fraction(
+            tiny_graph, [Triple(alice, lives_in, berlin)], max_hops=2
+        )
+        assert fraction == 1.0
+
+    def test_unreachable_fact_is_not_answerable(self, tiny_graph):
+        graph = KnowledgeGraph()
+        graph.add_triple_by_name("x", "rel", "y")
+        graph.add_triple_by_name("z", "rel", "w")
+        triple = graph.triples()[0]
+        # The only connection between x and y is the queried edge itself.
+        assert multihop_answerable_fraction(graph, [triple], max_hops=2) == 0.0
+
+    def test_empty_input(self, tiny_graph):
+        assert multihop_answerable_fraction(tiny_graph, [], max_hops=2) == 0.0
+
+    def test_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            multihop_answerable_fraction(tiny_graph, tiny_graph.triples(), max_hops=0)
+
+
+class TestDescribe:
+    def test_describe_graph_keys(self, tiny_graph):
+        description = describe_graph(tiny_graph)
+        assert description["entities"] == float(tiny_graph.num_entities)
+        assert "degree_mean" in description
+        assert "relation_freq_gini" in description
+
+    def test_describe_dataset_includes_splits_and_modalities(self, tiny_dataset):
+        description = describe_dataset(tiny_dataset, rng=0)
+        sizes = tiny_dataset.splits.sizes()
+        assert description["train_triples"] == float(sizes["train"])
+        assert description["modal_coverage"] == pytest.approx(1.0)
+        assert 0.0 <= description["test_multihop_answerable"] <= 1.0
+        assert all(isinstance(value, float) for value in description.values())

@@ -1,0 +1,71 @@
+"""Tests for the Vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.vocab import Vocabulary
+
+
+def test_add_assigns_sequential_ids():
+    vocab = Vocabulary()
+    assert vocab.add("a") == 0
+    assert vocab.add("b") == 1
+    assert vocab.add("a") == 0  # repeated add returns existing id
+
+
+def test_constructor_accepts_iterable():
+    vocab = Vocabulary(["x", "y", "x"])
+    assert len(vocab) == 2
+
+
+def test_index_and_symbol_roundtrip():
+    vocab = Vocabulary(["alpha", "beta"])
+    assert vocab.symbol(vocab.index("beta")) == "beta"
+
+
+def test_unknown_symbol_raises():
+    with pytest.raises(KeyError):
+        Vocabulary().index("missing")
+
+
+def test_out_of_range_index_raises():
+    with pytest.raises(IndexError):
+        Vocabulary(["a"]).symbol(5)
+
+
+def test_contains_and_iteration():
+    vocab = Vocabulary(["a", "b"])
+    assert "a" in vocab and "c" not in vocab
+    assert list(vocab) == ["a", "b"]
+    assert vocab.symbols() == ["a", "b"]
+
+
+def test_invalid_symbol_raises():
+    with pytest.raises(ValueError):
+        Vocabulary().add("")
+    with pytest.raises(ValueError):
+        Vocabulary().add(123)  # type: ignore[arg-type]
+
+
+def test_to_from_dict_roundtrip():
+    vocab = Vocabulary(["a", "b", "c"])
+    rebuilt = Vocabulary.from_dict(vocab.to_dict())
+    assert rebuilt.symbols() == vocab.symbols()
+
+
+def test_from_dict_rejects_non_contiguous_ids():
+    with pytest.raises(ValueError):
+        Vocabulary.from_dict({"a": 0, "b": 2})
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=5), min_size=1, max_size=20))
+def test_property_ids_are_dense_and_stable(symbols):
+    vocab = Vocabulary(symbols)
+    # Ids cover 0..len-1 exactly and lookups are mutually consistent.
+    assert sorted(vocab.to_dict().values()) == list(range(len(vocab)))
+    for symbol in symbols:
+        assert vocab.symbol(vocab.index(symbol)) == symbol

@@ -1,0 +1,114 @@
+"""Tests for the functional operations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestActivations:
+    def test_relu(self):
+        out = F.relu(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_sigmoid_range(self, rng):
+        out = F.sigmoid(Tensor(rng.normal(size=(10,))))
+        assert np.all(out.data > 0) and np.all(out.data < 1)
+
+    def test_softmax_sums_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(3, 5))))
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = Tensor(rng.normal(size=(4,)))
+        np.testing.assert_allclose(
+            F.log_softmax(x).data, np.log(F.softmax(x).data), atol=1e-12
+        )
+
+    def test_hadamard(self):
+        a = Tensor(np.array([1.0, 2.0]))
+        b = Tensor(np.array([3.0, 4.0]))
+        np.testing.assert_allclose(F.hadamard(a, b).data, [3.0, 8.0])
+
+    def test_tanh(self):
+        np.testing.assert_allclose(
+            F.tanh(Tensor(np.array([0.0]))).data, [0.0], atol=1e-12
+        )
+
+
+class TestLosses:
+    def test_mse_zero_for_equal_inputs(self, rng):
+        x = rng.normal(size=(5,))
+        assert F.mse_loss(Tensor(x), Tensor(x.copy())).item() == pytest.approx(0.0)
+
+    def test_mse_positive(self):
+        loss = F.mse_loss(Tensor(np.zeros(3)), Tensor(np.ones(3)))
+        assert loss.item() == pytest.approx(1.0)
+
+    def test_bce_perfect_prediction_is_small(self):
+        pred = Tensor(np.array([0.999999, 0.000001]))
+        target = Tensor(np.array([1.0, 0.0]))
+        assert F.binary_cross_entropy(pred, target).item() < 1e-4
+
+    def test_bce_wrong_prediction_is_large(self):
+        pred = Tensor(np.array([0.01]))
+        target = Tensor(np.array([1.0]))
+        assert F.binary_cross_entropy(pred, target).item() > 2.0
+
+    def test_cross_entropy_prefers_correct_class(self):
+        logits_good = Tensor(np.array([5.0, 0.0, 0.0]))
+        logits_bad = Tensor(np.array([0.0, 5.0, 0.0]))
+        assert F.cross_entropy(logits_good, 0).item() < F.cross_entropy(logits_bad, 0).item()
+
+    def test_margin_ranking_loss_zero_when_satisfied(self):
+        positive = Tensor(np.array([0.1]))
+        negative = Tensor(np.array([5.0]))
+        assert F.margin_ranking_loss(positive, negative, margin=1.0).item() == 0.0
+
+    def test_margin_ranking_loss_positive_when_violated(self):
+        positive = Tensor(np.array([2.0]))
+        negative = Tensor(np.array([1.0]))
+        assert F.margin_ranking_loss(positive, negative, margin=1.0).item() == pytest.approx(2.0)
+
+    def test_nll_of_indices(self, rng):
+        logits = Tensor(rng.normal(size=(4, 3)))
+        log_probs = logits.log_softmax(axis=-1)
+        loss = F.nll_of_indices(log_probs, np.array([0, 1, 2, 0]))
+        assert loss.item() > 0
+
+
+class TestUtilities:
+    def test_l2_normalize_unit_norm(self, rng):
+        out = F.l2_normalize(Tensor(rng.normal(size=(4, 6))))
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=-1), np.ones(4), atol=1e-9)
+
+    def test_dropout_identity_when_not_training(self, rng):
+        x = Tensor(rng.normal(size=(5,)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.5, rng)
+
+    def test_scaled_dot_product_attention_shape(self, rng):
+        q = Tensor(rng.normal(size=(2, 4)))
+        k = Tensor(rng.normal(size=(3, 4)))
+        v = Tensor(rng.normal(size=(3, 6)))
+        assert F.scaled_dot_product_attention(q, k, v).shape == (2, 6)
+
+    def test_mean_pool(self, rng):
+        tensors = [Tensor(np.full((3,), float(i))) for i in range(4)]
+        np.testing.assert_allclose(F.mean_pool(tensors).data, np.full(3, 1.5))
+
+    def test_mean_pool_empty_raises(self):
+        with pytest.raises(ValueError):
+            F.mean_pool([])
+
+    def test_concat_features(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)))
+        b = Tensor(rng.normal(size=(2, 5)))
+        assert F.concat_features([a, b]).shape == (2, 8)

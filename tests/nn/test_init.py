@@ -1,0 +1,41 @@
+"""Tests for weight initialisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.init import normal_, uniform_, xavier_normal, xavier_uniform, zeros_
+from repro.nn.tensor import Tensor
+
+
+def test_xavier_uniform_bounds():
+    weights = xavier_uniform((100, 50), rng=0)
+    limit = np.sqrt(6.0 / 150)
+    assert weights.shape == (100, 50)
+    assert np.all(np.abs(weights) <= limit + 1e-12)
+
+
+def test_xavier_normal_scale():
+    weights = xavier_normal((200, 100), rng=0)
+    expected_std = np.sqrt(2.0 / 300)
+    assert abs(weights.std() - expected_std) < 0.2 * expected_std
+
+
+def test_xavier_uniform_is_deterministic_given_seed():
+    np.testing.assert_allclose(xavier_uniform((5, 5), rng=3), xavier_uniform((5, 5), rng=3))
+
+
+def test_invalid_shape_raises():
+    with pytest.raises(ValueError):
+        xavier_uniform(())
+
+
+def test_inplace_initialisers():
+    t = Tensor(np.zeros((4, 4)))
+    uniform_(t, -1.0, 1.0, rng=0)
+    assert np.any(t.data != 0)
+    normal_(t, 0.0, 1.0, rng=0)
+    assert np.any(t.data != 0)
+    zeros_(t)
+    np.testing.assert_allclose(t.data, np.zeros((4, 4)))

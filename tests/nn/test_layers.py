@@ -1,0 +1,218 @@
+"""Tests for the neural-network layers and the Module registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    LSTMCell,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+)
+from repro.nn.layers import MLP, Bilinear, ReLU, Sigmoid, Tanh
+from repro.nn.tensor import Tensor
+
+
+class TestModuleRegistry:
+    def test_parameters_are_collected(self):
+        layer = Linear(4, 3, rng=0)
+        names = dict(layer.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_modules_collect_parameters(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(4, 3, rng=0)
+                self.b = Linear(3, 2, rng=1)
+
+            def forward(self, x):
+                return self.b(self.a(x))
+
+        net = Net()
+        assert len(net.parameters()) == 4
+        assert {name for name, _ in net.named_parameters()} == {
+            "a.weight",
+            "a.bias",
+            "b.weight",
+            "b.bias",
+        }
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3, rng=0)
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        net = Sequential(Linear(3, 3, rng=0), Dropout(0.5, rng=1))
+        net.eval()
+        assert all(not module.training for module in net.children())
+        net.train()
+        assert all(module.training for module in net.children())
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(4, 3, rng=0)
+        other = Linear(4, 3, rng=99)
+        other.load_state_dict(layer.state_dict())
+        np.testing.assert_allclose(layer.weight.data, other.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        layer = Linear(4, 3, rng=0)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((4, 3))})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        layer = Linear(4, 3, rng=0)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((5, 3))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_zero_grad_clears_gradients(self):
+        layer = Linear(3, 2, rng=0)
+        layer(Tensor(np.ones((2, 3)))).sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_module_list(self):
+        modules = ModuleList([Linear(2, 2, rng=i) for i in range(3)])
+        assert len(modules) == 3
+        assert len(modules.parameters()) == 6
+        with pytest.raises(RuntimeError):
+            modules(Tensor(np.ones((1, 2))))
+
+
+class TestLinear:
+    def test_output_shape(self):
+        layer = Linear(5, 3, rng=0)
+        assert layer(Tensor(np.ones((4, 5)))).shape == (4, 3)
+
+    def test_no_bias(self):
+        layer = Linear(5, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients_reach_weights(self):
+        layer = Linear(3, 2, rng=0)
+        layer(Tensor(np.ones((5, 3)))).sum().backward()
+        assert layer.weight.grad.shape == (3, 2)
+        assert layer.bias.grad.shape == (2,)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        table = Embedding(10, 6, rng=0)
+        out = table(np.array([1, 3, 5]))
+        assert out.shape == (3, 6)
+
+    def test_out_of_range_raises(self):
+        table = Embedding(10, 6, rng=0)
+        with pytest.raises(IndexError):
+            table(np.array([10]))
+
+    def test_gradient_is_sparse(self):
+        table = Embedding(10, 4, rng=0)
+        table(np.array([2, 2])).sum().backward()
+        grad = table.weight.grad
+        assert grad[2].sum() == pytest.approx(8.0)  # two lookups accumulate
+        assert grad[3].sum() == pytest.approx(0.0)
+
+    def test_set_weights(self):
+        table = Embedding(4, 3, rng=0)
+        values = np.arange(12, dtype=float).reshape(4, 3)
+        table.set_weights(values)
+        np.testing.assert_allclose(table.weight.data, values)
+
+    def test_set_weights_bad_shape(self):
+        table = Embedding(4, 3, rng=0)
+        with pytest.raises(ValueError):
+            table.set_weights(np.zeros((3, 3)))
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = LSTMCell(6, 4, rng=0)
+        h, c = cell.init_state(batch_size=2)
+        h2, c2 = cell(Tensor(np.ones((2, 6))), (h, c))
+        assert h2.shape == (2, 4)
+        assert c2.shape == (2, 4)
+
+    def test_state_changes_with_input(self):
+        cell = LSTMCell(3, 3, rng=0)
+        state = cell.init_state()
+        h1, _ = cell(Tensor(np.ones((1, 3))), state)
+        h2, _ = cell(Tensor(-np.ones((1, 3))), state)
+        assert not np.allclose(h1.data, h2.data)
+
+    def test_gradients_flow_through_time(self):
+        cell = LSTMCell(3, 3, rng=0)
+        state = cell.init_state()
+        for _ in range(3):
+            state = cell(Tensor(np.ones((1, 3))), state)
+        state[0].sum().backward()
+        assert cell.weight_ih.grad is not None
+        assert np.abs(cell.weight_ih.grad).sum() > 0
+
+    def test_forget_bias_initialised_to_one(self):
+        cell = LSTMCell(3, 5, rng=0)
+        np.testing.assert_allclose(cell.bias.data[5:10], np.ones(5))
+
+
+class TestOtherLayers:
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.9, rng=0)
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(layer(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        layer = Dropout(0.5, rng=0)
+        out = layer(Tensor(np.ones((200,))))
+        kept = out.data[out.data > 0]
+        assert np.allclose(kept, 2.0)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_layernorm_normalises(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(5, 8))))
+        np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(5), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), np.ones(5), atol=1e-3)
+
+    def test_sequential_applies_in_order(self):
+        net = Sequential(Linear(3, 3, rng=0), ReLU(), Linear(3, 1, rng=1))
+        assert net(Tensor(np.ones((2, 3)))).shape == (2, 1)
+        assert len(net) == 3
+        assert isinstance(net[1], ReLU)
+
+    def test_activation_modules(self):
+        x = Tensor(np.array([[-1.0, 1.0]]))
+        assert ReLU()(x).data[0, 0] == 0.0
+        assert 0.0 < Sigmoid()(x).data[0, 0] < 0.5
+        assert Tanh()(x).data[0, 1] == pytest.approx(np.tanh(1.0))
+
+    def test_mlp_shapes_and_depth(self):
+        mlp = MLP([4, 8, 2], rng=0)
+        assert mlp(Tensor(np.ones((3, 4)))).shape == (3, 2)
+
+    def test_mlp_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_bilinear_output_shape(self):
+        layer = Bilinear(4, 5, rank=6, out_dim=2, rng=0)
+        out = layer(Tensor(np.ones((3, 4))), Tensor(np.ones((3, 5))))
+        assert out.shape == (3, 2)

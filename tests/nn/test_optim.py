@@ -1,0 +1,123 @@
+"""Tests for optimizers and gradient clipping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, SGD, Linear, clip_grad_norm
+from repro.nn.layers import Parameter
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Parameter) -> Tensor:
+    """Simple convex objective ``sum((x - 3)^2)`` with minimum at 3."""
+    diff = param - Tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_reduces_quadratic_loss(self):
+        param = Parameter(np.zeros(4))
+        optimizer = SGD([param], lr=0.1)
+        initial = quadratic_loss(param).item()
+        for _ in range(50):
+            optimizer.zero_grad()
+            loss = quadratic_loss(param)
+            loss.backward()
+            optimizer.step()
+        assert quadratic_loss(param).item() < initial * 1e-3
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(2))
+        momentum = Parameter(np.zeros(2))
+        opt_plain = SGD([plain], lr=0.01)
+        opt_momentum = SGD([momentum], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for param, opt in ((plain, opt_plain), (momentum, opt_momentum)):
+                opt.zero_grad()
+                quadratic_loss(param).backward()
+                opt.step()
+        assert quadratic_loss(momentum).item() < quadratic_loss(plain).item()
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Parameter(np.full(3, 5.0))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        optimizer.zero_grad()
+        (param * 0.0).sum().backward()
+        optimizer.step()
+        assert np.all(np.abs(param.data) < 5.0)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_invalid_momentum_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, momentum=1.0)
+
+    def test_empty_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        optimizer = SGD([param], lr=0.1)
+        optimizer.step()  # no grad: should not move or crash
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+
+class TestAdam:
+    def test_reduces_quadratic_loss(self):
+        param = Parameter(np.zeros(4))
+        optimizer = Adam([param], lr=0.2)
+        for _ in range(100):
+            optimizer.zero_grad()
+            quadratic_loss(param).backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=0.05)
+
+    def test_trains_linear_regression(self, rng):
+        true_weights = rng.normal(size=(5, 1))
+        inputs = rng.normal(size=(64, 5))
+        targets = inputs @ true_weights
+        layer = Linear(5, 1, rng=0)
+        optimizer = Adam(layer.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(200):
+            optimizer.zero_grad()
+            prediction = layer(Tensor(inputs))
+            diff = prediction - Tensor(targets)
+            loss = (diff * diff).mean()
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.01
+
+    def test_invalid_betas_raise(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.1, betas=(1.0, 0.999))
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.full(4, 0.01)
+        clip_grad_norm([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, np.full(4, 0.01))
+
+    def test_handles_missing_gradients(self):
+        assert clip_grad_norm([Parameter(np.zeros(3))], max_norm=1.0) == 0.0
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([Parameter(np.zeros(1))], max_norm=0.0)

@@ -1,0 +1,47 @@
+"""Tests for state-dict serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Sequential, load_state_dict, save_state_dict, state_dict_to_arrays
+from repro.nn.layers import ReLU
+from repro.nn.tensor import Tensor
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    model = Sequential(Linear(4, 8, rng=0), ReLU(), Linear(8, 2, rng=1))
+    path = tmp_path / "model.npz"
+    save_state_dict(model, path)
+
+    clone = Sequential(Linear(4, 8, rng=7), ReLU(), Linear(8, 2, rng=8))
+    x = np.random.default_rng(0).normal(size=(3, 4))
+    before = clone(Tensor(x)).data.copy()
+    load_state_dict(clone, path)
+    after = clone(Tensor(x)).data
+
+    assert not np.allclose(before, after)
+    np.testing.assert_allclose(after, model(Tensor(x)).data)
+
+
+def test_save_creates_parent_directories(tmp_path):
+    model = Linear(2, 2, rng=0)
+    path = tmp_path / "nested" / "dir" / "model.npz"
+    save_state_dict(model, path)
+    assert path.exists()
+
+
+def test_load_resolves_npz_suffix(tmp_path):
+    model = Linear(2, 2, rng=0)
+    path = tmp_path / "weights"
+    save_state_dict(model, path)
+    clone = Linear(2, 2, rng=5)
+    load_state_dict(clone, path)  # numpy appended .npz; loader should find it
+    np.testing.assert_allclose(clone.weight.data, model.weight.data)
+
+
+def test_state_dict_to_arrays_copies(tmp_path):
+    model = Linear(2, 2, rng=0)
+    arrays = state_dict_to_arrays(model)
+    arrays["weight"][...] = 0.0
+    assert not np.allclose(model.weight.data, 0.0)

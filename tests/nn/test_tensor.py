@@ -1,0 +1,284 @@
+"""Autograd engine tests, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.tensor import Tensor, concat, no_grad, stack
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn(x)
+        flat[i] = original - eps
+        lower = fn(x)
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_scalar, value: np.ndarray, atol: float = 1e-5) -> None:
+    """Compare autograd gradient against the numerical gradient."""
+    tensor = Tensor(value.copy(), requires_grad=True)
+    out = build_scalar(tensor)
+    out.backward()
+    analytic = tensor.grad
+
+    def evaluate(array: np.ndarray) -> float:
+        return float(build_scalar(Tensor(array)).data)
+
+    numeric = numerical_gradient(evaluate, value.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-3)
+
+
+class TestTensorBasics:
+    def test_construction_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.data.dtype == np.float64
+
+    def test_requires_grad_flag(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        assert t.requires_grad
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.array(2.5)).item() == pytest.approx(2.5)
+
+    def test_backward_on_non_scalar_raises(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_without_grad_flag_raises(self):
+        t = Tensor(np.ones(1))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_no_grad_disables_graph(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = (t * 2).sum()
+        assert not out.requires_grad
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t.sum()).backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradient(lambda t: (t + 3.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_sub(self, rng):
+        check_gradient(lambda t: (t - 1.5).sum(), rng.normal(size=(2, 3)))
+
+    def test_rsub(self, rng):
+        check_gradient(lambda t: (1.5 - t).sum(), rng.normal(size=(2, 3)))
+
+    def test_mul(self, rng):
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (t * Tensor(other)).sum(), rng.normal(size=(3, 4)))
+
+    def test_div(self, rng):
+        other = np.abs(rng.normal(size=(3,))) + 1.0
+        check_gradient(lambda t: (t / Tensor(other)).sum(), rng.normal(size=(3,)))
+
+    def test_pow(self, rng):
+        check_gradient(lambda t: (t ** 3).sum(), rng.normal(size=(4,)))
+
+    def test_neg(self, rng):
+        check_gradient(lambda t: (-t).sum(), rng.normal(size=(4,)))
+
+    def test_broadcast_add_bias(self, rng):
+        bias = rng.normal(size=(4,))
+        check_gradient(lambda t: (t + Tensor(bias)).sum(), rng.normal(size=(3, 4)))
+
+    def test_gradient_accumulates_when_reused(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        out = t * 3.0 + t * 4.0
+        out.sum().backward()
+        assert t.grad[0] == pytest.approx(7.0)
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self, rng):
+        other = rng.normal(size=(4, 2))
+        check_gradient(lambda t: t.matmul(Tensor(other)).sum(), rng.normal(size=(3, 4)))
+
+    def test_matrix_vector(self, rng):
+        vec = rng.normal(size=(4,))
+        check_gradient(lambda t: t.matmul(Tensor(vec)).sum(), rng.normal(size=(3, 4)))
+
+    def test_vector_matrix(self, rng):
+        mat = rng.normal(size=(4, 3))
+        check_gradient(lambda t: t.matmul(Tensor(mat)).sum(), rng.normal(size=(4,)))
+
+    def test_vector_vector(self, rng):
+        vec = rng.normal(size=(5,))
+        check_gradient(lambda t: t.matmul(Tensor(vec)), rng.normal(size=(5,)))
+
+    def test_grad_flows_to_right_operand(self, rng):
+        left = Tensor(rng.normal(size=(2, 3)))
+        right = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        left.matmul(right).sum().backward()
+        assert right.grad is not None and right.grad.shape == (3, 2)
+
+
+class TestActivationGradients:
+    def test_exp(self, rng):
+        check_gradient(lambda t: t.exp().sum(), rng.normal(size=(3,)))
+
+    def test_log(self, rng):
+        check_gradient(lambda t: t.log().sum(), np.abs(rng.normal(size=(3,))) + 0.5)
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.normal(size=(3, 2)))
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.normal(size=(3, 2)))
+
+    def test_relu(self, rng):
+        # Shift away from zero to avoid the kink in the numerical check.
+        value = rng.normal(size=(3, 3))
+        value[np.abs(value) < 0.1] = 0.5
+        check_gradient(lambda t: t.relu().sum(), value)
+
+    def test_softmax(self, rng):
+        weights = rng.normal(size=(4,))
+        check_gradient(
+            lambda t: (t.softmax(axis=-1) * Tensor(weights)).sum(), rng.normal(size=(4,))
+        )
+
+    def test_log_softmax(self, rng):
+        weights = rng.normal(size=(2, 4))
+        check_gradient(
+            lambda t: (t.log_softmax(axis=-1) * Tensor(weights)).sum(),
+            rng.normal(size=(2, 4)),
+        )
+
+    def test_sigmoid_is_stable_for_large_inputs(self):
+        out = Tensor(np.array([1000.0, -1000.0])).sigmoid()
+        assert np.all(np.isfinite(out.data))
+        assert out.data[0] == pytest.approx(1.0)
+        assert out.data[1] == pytest.approx(0.0)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Tensor(rng.normal(size=(5, 7))).softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_clip_gradient_masks_out_of_range(self, rng):
+        value = np.array([-2.0, 0.5, 2.0])
+        t = Tensor(value, requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: t.sum(axis=0).sum(), rng.normal(size=(3, 4)))
+
+    def test_mean(self, rng):
+        check_gradient(lambda t: t.mean(), rng.normal(size=(3, 4)))
+
+    def test_mean_axis(self, rng):
+        check_gradient(lambda t: t.mean(axis=1).sum(), rng.normal(size=(3, 4)))
+
+    def test_max(self, rng):
+        value = rng.normal(size=(6,))
+        value[2] = 10.0  # unique maximum keeps the numerical check valid
+        check_gradient(lambda t: t.max(), value)
+
+    def test_reshape(self, rng):
+        check_gradient(lambda t: t.reshape(6).sum(), rng.normal(size=(2, 3)))
+
+    def test_transpose(self, rng):
+        weights = rng.normal(size=(4, 3))
+        check_gradient(lambda t: (t.T * Tensor(weights)).sum(), rng.normal(size=(3, 4)))
+
+    def test_getitem_row(self, rng):
+        check_gradient(lambda t: t[1].sum(), rng.normal(size=(3, 4)))
+
+    def test_getitem_fancy_index(self, rng):
+        index = np.array([0, 2, 2])
+        check_gradient(lambda t: t[index].sum(), rng.normal(size=(4, 3)))
+
+
+class TestStackConcat:
+    def test_stack_forward_shape(self, rng):
+        parts = [Tensor(rng.normal(size=(3,))) for _ in range(4)]
+        assert stack(parts, axis=0).shape == (4, 3)
+
+    def test_concat_forward_shape(self, rng):
+        parts = [Tensor(rng.normal(size=(2, 3))) for _ in range(2)]
+        assert concat(parts, axis=-1).shape == (2, 6)
+
+    def test_concat_gradient(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        concat([a, b], axis=-1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_gradient(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (stack([a, b], axis=0) * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones(3))
+        np.testing.assert_allclose(b.grad, 2 * np.ones(3))
+
+    def test_empty_stack_raises(self):
+        with pytest.raises(ValueError):
+            stack([])
+
+    def test_empty_concat_raises(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+
+class TestGradientProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=6))
+    def test_sum_gradient_is_ones(self, values):
+        t = Tensor(np.array(values), requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones(len(values)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=6))
+    def test_softmax_gradient_of_sum_is_zero(self, values):
+        # softmax outputs sum to 1 regardless of input, so d(sum)/dx == 0.
+        t = Tensor(np.array(values), requires_grad=True)
+        t.softmax(axis=-1).sum().backward()
+        np.testing.assert_allclose(t.grad, np.zeros(len(values)), atol=1e-10)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.floats(-2, 2), min_size=3, max_size=3),
+        st.lists(st.floats(-2, 2), min_size=3, max_size=3),
+    )
+    def test_chain_rule_through_product(self, left, right):
+        a = Tensor(np.array(left), requires_grad=True)
+        b = Tensor(np.array(right), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.array(right), atol=1e-12)
+        np.testing.assert_allclose(b.grad, np.array(left), atol=1e-12)

@@ -1,0 +1,113 @@
+"""Tests for the MKG environment (MDP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rl.environment import MKGEnvironment, Query
+
+
+@pytest.fixture()
+def environment(tiny_graph) -> MKGEnvironment:
+    return MKGEnvironment(tiny_graph, max_steps=3)
+
+
+@pytest.fixture()
+def query(tiny_graph) -> Query:
+    return Query(
+        source=tiny_graph.entity_id("alice"),
+        relation=tiny_graph.relation_id("lives_in"),
+        answer=tiny_graph.entity_id("berlin"),
+    )
+
+
+class TestReset:
+    def test_reset_starts_at_source(self, environment, query):
+        state = environment.reset(query)
+        assert state.current_entity == query.source
+        assert state.step == 0 and not state.stopped
+
+    def test_reset_out_of_range_raises(self, environment):
+        with pytest.raises(IndexError):
+            environment.reset(Query(source=999, relation=0, answer=0))
+
+    def test_invalid_max_steps(self, tiny_graph):
+        with pytest.raises(ValueError):
+            MKGEnvironment(tiny_graph, max_steps=0)
+
+
+class TestActions:
+    def test_actions_include_no_op(self, environment, query, tiny_graph):
+        state = environment.reset(query)
+        actions = environment.available_actions(state)
+        assert (tiny_graph.no_op_relation_id, query.source) in actions
+
+    def test_direct_answer_edge_masked_at_first_step(self, environment, query):
+        state = environment.reset(query)
+        actions = environment.available_actions(state)
+        assert (query.relation, query.answer) not in actions
+
+    def test_direct_edge_not_masked_later(self, environment, query, tiny_graph):
+        state = environment.reset(query)
+        no_op = tiny_graph.no_op_relation_id
+        environment.step(state, (no_op, query.source))
+        actions = environment.available_actions(state)
+        assert (query.relation, query.answer) in actions
+
+    def test_unmasked_environment_keeps_direct_edge(self, tiny_graph, query):
+        environment = MKGEnvironment(tiny_graph, max_steps=3, mask_answer_edge=False)
+        state = environment.reset(query)
+        assert (query.relation, query.answer) in environment.available_actions(state)
+
+    def test_max_actions_truncates(self, tiny_graph, query):
+        environment = MKGEnvironment(tiny_graph, max_steps=3, max_actions=1)
+        state = environment.reset(query)
+        actions = environment.available_actions(state)
+        # 1 graph edge + the NO_OP self-loop
+        assert len(actions) == 2
+
+
+class TestTransitions:
+    def test_step_updates_state(self, environment, query, tiny_graph):
+        state = environment.reset(query)
+        works = tiny_graph.relation_id("works_for")
+        acme = tiny_graph.entity_id("acme")
+        environment.step(state, (works, acme))
+        assert state.current_entity == acme
+        assert state.step == 1
+        assert state.path == [(works, acme)]
+
+    def test_episode_terminates_at_max_steps(self, environment, query, tiny_graph):
+        state = environment.reset(query)
+        no_op = tiny_graph.no_op_relation_id
+        for _ in range(3):
+            environment.step(state, (no_op, state.current_entity))
+        assert environment.is_terminal(state)
+        with pytest.raises(RuntimeError):
+            environment.step(state, (no_op, state.current_entity))
+
+    def test_hops_ignore_no_op(self, environment, query, tiny_graph):
+        state = environment.reset(query)
+        no_op = tiny_graph.no_op_relation_id
+        works = tiny_graph.relation_id("works_for")
+        acme = tiny_graph.entity_id("acme")
+        environment.step(state, (works, acme))
+        environment.step(state, (no_op, acme))
+        assert state.hops == 1
+        assert state.step == 2
+
+    def test_reached_answer(self, environment, query, tiny_graph):
+        state = environment.reset(query)
+        works = tiny_graph.relation_id("works_for")
+        located = tiny_graph.relation_id("located_in")
+        environment.step(state, (works, tiny_graph.entity_id("acme")))
+        environment.step(state, (located, tiny_graph.entity_id("berlin")))
+        assert environment.reached_answer(state)
+
+    def test_visited_entities_and_relation_path(self, environment, query, tiny_graph):
+        state = environment.reset(query)
+        works = tiny_graph.relation_id("works_for")
+        acme = tiny_graph.entity_id("acme")
+        environment.step(state, (works, acme))
+        assert state.visited_entities() == [query.source, acme]
+        assert state.relation_path() == [works]

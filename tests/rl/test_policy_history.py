@@ -1,0 +1,98 @@
+"""Tests for the policy network and the path-history encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.tensor import Tensor
+from repro.rl.history import PathHistoryEncoder
+from repro.rl.policy import PolicyNetwork, stack_action_embeddings
+
+
+class TestPathHistoryEncoder:
+    def test_reset_then_hidden_shape(self, rng):
+        encoder = PathHistoryEncoder(embedding_dim=6, hidden_dim=5, rng=0)
+        hidden = encoder.reset(rng.normal(size=6))
+        assert hidden.shape == (5,)
+        assert encoder.hidden.shape == (5,)
+
+    def test_update_changes_hidden(self, rng):
+        encoder = PathHistoryEncoder(embedding_dim=6, hidden_dim=5, rng=0)
+        encoder.reset(rng.normal(size=6))
+        before = encoder.hidden.data.copy()
+        encoder.update(rng.normal(size=6), rng.normal(size=6))
+        assert not np.allclose(before, encoder.hidden.data)
+
+    def test_update_before_reset_raises(self, rng):
+        encoder = PathHistoryEncoder(embedding_dim=6, hidden_dim=5, rng=0)
+        with pytest.raises(RuntimeError):
+            encoder.update(rng.normal(size=6), rng.normal(size=6))
+        with pytest.raises(RuntimeError):
+            _ = encoder.hidden
+
+    def test_bad_source_shape_raises(self, rng):
+        encoder = PathHistoryEncoder(embedding_dim=6, hidden_dim=5, rng=0)
+        with pytest.raises(ValueError):
+            encoder.reset(rng.normal(size=4))
+
+    def test_snapshot_restore_roundtrip(self, rng):
+        encoder = PathHistoryEncoder(embedding_dim=6, hidden_dim=5, rng=0)
+        encoder.reset(rng.normal(size=6))
+        snapshot = encoder.snapshot()
+        encoder.update(rng.normal(size=6), rng.normal(size=6))
+        diverged = encoder.hidden.data.copy()
+        encoder.restore(snapshot)
+        assert not np.allclose(encoder.hidden.data, diverged)
+        np.testing.assert_allclose(encoder.hidden.data, snapshot[0].reshape(-1))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            PathHistoryEncoder(embedding_dim=0, hidden_dim=5)
+
+
+class TestPolicyNetwork:
+    def test_log_probs_normalise(self, rng):
+        policy = PolicyNetwork(fusion_dim=6, action_dim=8, hidden_dim=10, rng=0)
+        fused = Tensor(rng.normal(size=6))
+        actions = rng.normal(size=(5, 8))
+        log_probs = policy(fused, actions)
+        assert log_probs.shape == (5,)
+        assert np.exp(log_probs.data).sum() == pytest.approx(1.0)
+
+    def test_probabilities_match_log_probs(self, rng):
+        policy = PolicyNetwork(fusion_dim=6, action_dim=8, rng=0)
+        fused = Tensor(rng.normal(size=6))
+        actions = rng.normal(size=(4, 8))
+        probs = policy.action_probabilities(fused, actions)
+        np.testing.assert_allclose(probs, np.exp(policy(fused, actions).data), atol=1e-9)
+
+    def test_bad_action_shape_raises(self, rng):
+        policy = PolicyNetwork(fusion_dim=6, action_dim=8, rng=0)
+        with pytest.raises(ValueError):
+            policy(Tensor(rng.normal(size=6)), rng.normal(size=(4, 7)))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            PolicyNetwork(fusion_dim=0, action_dim=4)
+
+    def test_gradients_flow(self, rng):
+        policy = PolicyNetwork(fusion_dim=6, action_dim=8, rng=0)
+        fused = Tensor(rng.normal(size=6), requires_grad=True)
+        log_probs = policy(fused, rng.normal(size=(3, 8)))
+        log_probs[0].backward()
+        assert fused.grad is not None
+        assert policy.hidden_layer.weight.grad is not None
+
+
+class TestStackActionEmbeddings:
+    def test_rows_are_relation_entity_concat(self, rng):
+        relations = rng.normal(size=(4, 3))
+        entities = rng.normal(size=(6, 3))
+        matrix = stack_action_embeddings([(1, 2), (0, 5)], relations, entities)
+        assert matrix.shape == (2, 6)
+        np.testing.assert_allclose(matrix[0], np.concatenate([relations[1], entities[2]]))
+
+    def test_empty_actions_raise(self, rng):
+        with pytest.raises(ValueError):
+            stack_action_embeddings([], rng.normal(size=(2, 3)), rng.normal(size=(2, 3)))

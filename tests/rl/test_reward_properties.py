@@ -1,0 +1,136 @@
+"""Property-based tests for the 3D reward components.
+
+The example-based reward tests live in ``test_rewards.py``; these check
+range/combination invariants over randomly generated episode outcomes, which
+is where subtle sign or normalisation bugs in reward code tend to hide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rl.environment import EpisodeState, MKGEnvironment, Query
+from repro.rl.rewards import (
+    CompositeReward,
+    DestinationReward,
+    DistanceReward,
+    DiversityReward,
+    RewardConfig,
+    ZeroOneReward,
+    build_reward,
+)
+
+
+@pytest.fixture(scope="module")
+def environment(request):
+    graph = request.getfixturevalue("tiny_graph")
+    return MKGEnvironment(graph, max_steps=4)
+
+
+def _episode(environment, hops, reached_answer):
+    """A synthetic terminal state with ``hops`` real hops."""
+    graph = environment.graph
+    alice = graph.entity_id("alice")
+    berlin = graph.entity_id("berlin")
+    paris = graph.entity_id("paris")
+    lives_in = graph.relation_id("lives_in")
+    works_for = graph.relation_id("works_for")
+    query = Query(alice, lives_in, berlin)
+    state = environment.reset(query)
+    target = berlin if reached_answer else paris
+    for step in range(hops):
+        entity = target if step == hops - 1 else graph.entity_id("acme")
+        environment.step(state, (works_for, entity))
+    return state
+
+
+class TestComponentRanges:
+    @given(hops=st.integers(min_value=0, max_value=4), reached=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_destination_reward_in_unit_interval(self, environment, hops, reached):
+        state = _episode(environment, hops, reached)
+        reward = DestinationReward(scorer=None)(state, environment)
+        assert 0.0 <= reward <= 1.0
+        if reached and hops > 0:
+            assert reward == 1.0
+
+    @given(
+        hops=st.integers(min_value=0, max_value=4),
+        reached=st.booleans(),
+        threshold=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_distance_reward_bounds(self, environment, hops, reached, threshold):
+        state = _episode(environment, hops, reached)
+        reward = DistanceReward(threshold=threshold)(state, environment)
+        assert -1.0 <= reward <= 1.0
+        if hops > threshold:
+            assert reward == pytest.approx(-1.0 / (hops * hops))
+        elif hops == 0 or not reached:
+            assert reward == 0.0
+        else:
+            assert reward == pytest.approx(1.0 / hops)
+
+    @given(hops=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_diversity_reward_never_positive(self, environment, hops):
+        relation_embeddings = np.random.default_rng(0).normal(
+            size=(environment.graph.num_relations, 8)
+        )
+        diversity = DiversityReward(relation_embeddings, bandwidth=3.0)
+        # First successful episode: no memory yet, reward 0, memory grows.
+        first = _episode(environment, hops, reached_answer=True)
+        assert diversity(first, environment) == 0.0
+        # Re-walking a similar path is penalised, never rewarded.
+        second = _episode(environment, hops, reached_answer=True)
+        assert diversity(second, environment) <= 0.0
+
+    def test_zero_one_reward(self, environment):
+        assert ZeroOneReward()(_episode(environment, 2, True), environment) == 1.0
+        assert ZeroOneReward()(_episode(environment, 2, False), environment) == 0.0
+
+
+class TestCompositeReward:
+    @given(hops=st.integers(min_value=0, max_value=4), reached=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_composite_bounded_by_weighted_components(self, environment, hops, reached):
+        relation_embeddings = np.random.default_rng(1).normal(
+            size=(environment.graph.num_relations, 8)
+        )
+        config = RewardConfig()
+        reward = build_reward(config, scorer=None, relation_embeddings=relation_embeddings)
+        state = _episode(environment, hops, reached)
+        value = reward(state, environment)
+        # Each component lies in [-1, 1] and the λ weights sum to one.
+        assert -1.0 <= value <= 1.0
+
+    def test_composite_is_weighted_sum(self, environment):
+        relation_embeddings = np.zeros((environment.graph.num_relations, 4))
+        config = RewardConfig(lambda_destination=0.2, lambda_distance=0.5, lambda_diversity=0.3)
+        composite = build_reward(config, scorer=None, relation_embeddings=relation_embeddings)
+        state = _episode(environment, 2, reached_answer=True)
+        expected = (
+            0.2 * composite.destination(state, environment)
+            + 0.5 * composite.distance(state, environment)
+            + 0.3 * composite.diversity(state, environment)
+        )
+        # Recompute on a fresh state because the diversity memory mutates.
+        composite.reset()
+        state = _episode(environment, 2, reached_answer=True)
+        assert composite(state, environment) == pytest.approx(expected)
+
+    def test_reset_clears_diversity_memory(self, environment):
+        relation_embeddings = np.ones((environment.graph.num_relations, 4))
+        composite = build_reward(RewardConfig(), scorer=None, relation_embeddings=relation_embeddings)
+        state = _episode(environment, 2, reached_answer=True)
+        composite(state, environment)
+        assert composite.diversity.known_paths(state.query.relation) == 1
+        composite.reset()
+        assert composite.diversity.known_paths(state.query.relation) == 0
+
+    def test_build_reward_requires_embeddings_for_diversity(self):
+        with pytest.raises(ValueError):
+            build_reward(RewardConfig(), scorer=None, relation_embeddings=None)

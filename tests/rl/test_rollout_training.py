@@ -1,0 +1,167 @@
+"""Tests for rollouts, beam search, imitation, and REINFORCE training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import MMKGRAgent
+from repro.core.config import MMKGRConfig
+from repro.features.extraction import FeatureStore
+from repro.rl.environment import MKGEnvironment, Query
+from repro.rl.imitation import ImitationConfig, ImitationTrainer, find_demonstration_path
+from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
+from repro.rl.rewards import ZeroOneReward
+from repro.rl.rollout import beam_search, sample_episode
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    """Shared tiny agent + environment built on the synthetic tiny dataset."""
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    features = FeatureStore(tiny_dataset.mkg, structural_dim=8, rng=np.random.default_rng(0))
+    config = MMKGRConfig(
+        structural_dim=8,
+        history_dim=8,
+        auxiliary_dim=8,
+        attention_dim=8,
+        joint_dim=8,
+        policy_hidden_dim=16,
+        max_steps=3,
+        max_actions=16,
+        seed=0,
+    )
+    agent = MMKGRAgent(features, config=config, rng=0)
+    environment = MKGEnvironment(tiny_dataset.train_graph, max_steps=3, max_actions=16)
+    return tiny_dataset, agent, environment
+
+
+class TestSampleEpisode:
+    def test_episode_terminates(self, setup):
+        dataset, agent, environment = setup
+        triple = dataset.splits.train[0]
+        episode = sample_episode(
+            agent, environment, Query(triple.head, triple.relation, triple.tail), rng=0
+        )
+        assert environment.is_terminal(episode.state)
+        assert len(episode.log_probs) == environment.max_steps
+        assert episode.path_length <= environment.max_steps
+
+    def test_greedy_is_deterministic(self, setup):
+        dataset, agent, environment = setup
+        triple = dataset.splits.train[1]
+        query = Query(triple.head, triple.relation, triple.tail)
+        first = sample_episode(agent, environment, query, rng=0, greedy=True)
+        second = sample_episode(agent, environment, query, rng=99, greedy=True)
+        assert first.state.path == second.state.path
+
+
+class TestBeamSearch:
+    def test_returns_candidates_with_scores(self, setup):
+        dataset, agent, environment = setup
+        triple = dataset.splits.test[0]
+        result = beam_search(
+            agent, environment, Query(triple.head, triple.relation, triple.tail), beam_width=4
+        )
+        assert result.entity_log_probs
+        assert result.num_entities == dataset.graph.num_entities
+        ranked = result.ranked_entities()
+        assert all(ranked[i][1] >= ranked[i + 1][1] for i in range(len(ranked) - 1))
+
+    def test_rank_of_reached_vs_unreached(self, setup):
+        dataset, agent, environment = setup
+        triple = dataset.splits.test[0]
+        result = beam_search(
+            agent, environment, Query(triple.head, triple.relation, triple.tail), beam_width=4
+        )
+        best = result.best_entity()
+        assert result.rank_of(best) == 1
+        unreached = next(
+            e for e in range(dataset.graph.num_entities) if e not in result.entity_log_probs
+        )
+        assert result.rank_of(unreached) > len(result.entity_log_probs)
+        assert result.score_of(unreached) == float("-inf")
+
+    def test_invalid_beam_width(self, setup):
+        dataset, agent, environment = setup
+        triple = dataset.splits.test[0]
+        with pytest.raises(ValueError):
+            beam_search(
+                agent, environment, Query(triple.head, triple.relation, triple.tail), beam_width=0
+            )
+
+
+class TestImitation:
+    def test_find_demonstration_path_reaches_answer(self, tiny_graph):
+        environment_graph = tiny_graph
+        query = Query(
+            source=tiny_graph.entity_id("alice"),
+            relation=tiny_graph.relation_id("lives_in"),
+            answer=tiny_graph.entity_id("berlin"),
+        )
+        path = find_demonstration_path(environment_graph, query, max_steps=3)
+        assert path is not None
+        assert path[-1][1] == query.answer
+        # The masked direct edge is not used as the first step.
+        assert path[0] != (query.relation, query.answer)
+
+    def test_find_demonstration_path_handles_trivial_query(self, tiny_graph):
+        query = Query(source=0, relation=0, answer=0)
+        assert find_demonstration_path(tiny_graph, query, max_steps=2) == []
+
+    def test_imitation_reduces_loss(self, setup):
+        dataset, agent, environment = setup
+        trainer = ImitationTrainer(
+            agent,
+            environment,
+            ImitationConfig(epochs=4, batch_size=8, learning_rate=5e-3, max_demonstrations=20),
+            rng=0,
+        )
+        losses = trainer.fit(dataset.splits.train[:30])
+        assert losses and losses[-1] < losses[0]
+
+    def test_zero_epochs_is_noop(self, setup):
+        dataset, agent, environment = setup
+        trainer = ImitationTrainer(agent, environment, ImitationConfig(epochs=0), rng=0)
+        assert trainer.fit(dataset.splits.train[:10]) == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ImitationConfig(epochs=-1)
+        with pytest.raises(ValueError):
+            ImitationConfig(batch_size=0)
+
+
+class TestReinforce:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ReinforceConfig(epochs=0)
+        with pytest.raises(ValueError):
+            ReinforceConfig(rollouts_per_query=0)
+        with pytest.raises(ValueError):
+            ReinforceConfig(baseline_decay=1.0)
+
+    def test_fit_records_history(self, setup):
+        dataset, agent, environment = setup
+        trainer = ReinforceTrainer(
+            agent,
+            environment,
+            ZeroOneReward(),
+            ReinforceConfig(epochs=2, batch_size=16, learning_rate=1e-3),
+            rng=0,
+        )
+        history = trainer.fit(dataset.splits.train[:20])
+        assert len(history.epoch_rewards) == 2
+        assert len(history.epoch_success_rates) == 2
+        assert all(0.0 <= rate <= 1.0 for rate in history.epoch_success_rates)
+
+    def test_fit_empty_queries_raises(self, setup):
+        _, agent, environment = setup
+        trainer = ReinforceTrainer(agent, environment, ZeroOneReward(), rng=0)
+        with pytest.raises(ValueError):
+            trainer.fit([])
+
+    def test_non_module_agent_rejected(self, setup):
+        _, _, environment = setup
+        with pytest.raises(TypeError):
+            ReinforceTrainer(object(), environment, ZeroOneReward())

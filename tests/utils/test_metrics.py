@@ -1,0 +1,119 @@
+"""Tests for ranking metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.metrics import (
+    RankingResult,
+    average_precision,
+    hits_at_k,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    rank_of_target,
+    summarize_results,
+)
+
+
+class TestMRR:
+    def test_perfect_ranking(self):
+        assert mean_reciprocal_rank([1, 1, 1]) == pytest.approx(1.0)
+
+    def test_known_value(self):
+        assert mean_reciprocal_rank([1, 2, 4]) == pytest.approx((1 + 0.5 + 0.25) / 3)
+
+    def test_empty_returns_zero(self):
+        assert mean_reciprocal_rank([]) == 0.0
+
+    def test_invalid_rank_raises(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=30))
+    def test_bounded_between_zero_and_one(self, ranks):
+        assert 0.0 < mean_reciprocal_rank(ranks) <= 1.0
+
+
+class TestHits:
+    def test_hits_at_1(self):
+        assert hits_at_k([1, 2, 3], 1) == pytest.approx(1 / 3)
+
+    def test_hits_at_10(self):
+        assert hits_at_k([1, 2, 30], 10) == pytest.approx(2 / 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            hits_at_k([1], 0)
+
+    def test_empty(self):
+        assert hits_at_k([], 5) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30))
+    def test_monotone_in_k(self, ranks):
+        assert hits_at_k(ranks, 1) <= hits_at_k(ranks, 5) <= hits_at_k(ranks, 10)
+
+
+class TestAveragePrecision:
+    def test_all_relevant(self):
+        assert average_precision([1, 1, 1]) == pytest.approx(1.0)
+
+    def test_single_relevant_at_position_k(self):
+        assert average_precision([0, 0, 1]) == pytest.approx(1 / 3)
+
+    def test_no_relevant(self):
+        assert average_precision([0, 0, 0]) == 0.0
+
+    def test_known_mixed_case(self):
+        # relevant at positions 1 and 3: AP = (1/1 + 2/3) / 2
+        assert average_precision([1, 0, 1]) == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_map_averages(self):
+        value = mean_average_precision([[1], [0, 1]])
+        assert value == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_map_empty(self):
+        assert mean_average_precision([]) == 0.0
+
+
+class TestRankOfTarget:
+    def test_best_score_is_rank_one(self):
+        assert rank_of_target(np.array([0.9, 0.1, 0.5]), 0) == 1
+
+    def test_pessimistic_tie_breaking(self):
+        assert rank_of_target(np.array([0.5, 0.5, 0.1]), 0) == 2
+
+    def test_worst_score(self):
+        assert rank_of_target(np.array([0.9, 0.8, 0.1]), 2) == 3
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            rank_of_target(np.array([1.0]), 5)
+
+
+class TestRankingResult:
+    def test_summary_keys(self):
+        result = RankingResult()
+        result.extend([1, 2, 3])
+        summary = result.summary()
+        assert set(summary) == {"mrr", "hits@1", "hits@5", "hits@10"}
+
+    def test_add_validates(self):
+        with pytest.raises(ValueError):
+            RankingResult().add(0)
+
+    def test_merge(self):
+        a = RankingResult([1, 2])
+        b = RankingResult([3])
+        assert len(a.merge(b)) == 3
+
+    def test_len(self):
+        assert len(RankingResult([1, 1, 1])) == 3
+
+    def test_summarize_results(self):
+        out = summarize_results({"model": RankingResult([1, 2])})
+        assert "model" in out and "mrr" in out["model"]

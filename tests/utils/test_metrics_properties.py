@@ -1,0 +1,106 @@
+"""Property-based tests for the ranking metrics.
+
+These complement the example-based tests in ``test_metrics.py`` with
+invariants that must hold for *any* input: metric ranges, monotonicity of
+Hits@k in k, and consistency between score-based ranking and rank-based
+metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.metrics import (
+    RankingResult,
+    average_precision,
+    hits_at_k,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    rank_of_target,
+)
+
+ranks_strategy = st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=50)
+
+
+class TestRankMetricsProperties:
+    @given(ranks_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_mrr_bounded(self, ranks):
+        mrr = mean_reciprocal_rank(ranks)
+        assert 0.0 < mrr <= 1.0
+        if all(rank == 1 for rank in ranks):
+            assert mrr == pytest.approx(1.0)
+
+    @given(ranks_strategy, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_hits_monotonic_in_k(self, ranks, k):
+        assert hits_at_k(ranks, k) <= hits_at_k(ranks, k + 1)
+        assert 0.0 <= hits_at_k(ranks, k) <= 1.0
+
+    @given(ranks_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_mrr_at_least_hits1_over_max_rank(self, ranks):
+        # 1/rank >= 1{rank==1}/1 weighted: MRR is always >= Hits@1 * 1.0 / 1,
+        # in fact MRR >= Hits@1 because each rank-1 query contributes 1.0.
+        assert mean_reciprocal_rank(ranks) >= hits_at_k(ranks, 1) - 1e-12
+
+    @given(ranks_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_ranking_result_summary_matches_functions(self, ranks):
+        result = RankingResult()
+        result.extend(ranks)
+        summary = result.summary(hits_at=(1, 5))
+        assert summary["mrr"] == pytest.approx(mean_reciprocal_rank(ranks))
+        assert summary["hits@5"] == pytest.approx(hits_at_k(ranks, 5))
+
+
+class TestAveragePrecisionProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, relevance):
+        ap = average_precision(relevance)
+        assert 0.0 <= ap <= 1.0
+        if not any(relevance):
+            assert ap == 0.0
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=19))
+    @settings(max_examples=60, deadline=None)
+    def test_single_relevant_item_is_reciprocal_rank(self, length, position):
+        position = min(position, length - 1)
+        relevance = [0] * length
+        relevance[position] = 1
+        assert average_precision(relevance) == pytest.approx(1.0 / (position + 1))
+
+    def test_map_over_queries_is_mean(self):
+        queries = [[1, 0], [0, 1]]
+        assert mean_average_precision(queries) == pytest.approx((1.0 + 0.5) / 2)
+
+
+class TestRankOfTargetProperties:
+    @given(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=1, max_size=30),
+        st.integers(min_value=0, max_value=29),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_in_valid_range(self, scores, index):
+        index = min(index, len(scores) - 1)
+        rank = rank_of_target(np.array(scores), index)
+        assert 1 <= rank <= len(scores)
+
+    @given(st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=30, unique=True))
+    @settings(max_examples=60, deadline=None)
+    def test_best_unique_score_has_rank_one(self, scores):
+        best = int(np.argmax(scores))
+        assert rank_of_target(np.array(scores), best) == 1
+
+    def test_pessimistic_tie_breaking(self):
+        scores = np.array([0.5, 0.5, 0.1])
+        assert rank_of_target(scores, 0) == 2
+        assert rank_of_target(scores, 1) == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            rank_of_target(np.array([0.1]), 5)

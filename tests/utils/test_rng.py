@@ -1,0 +1,49 @@
+"""Tests for RNG helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import choice_without_replacement, new_rng, spawn_rngs, stable_hash
+
+
+def test_new_rng_from_int_is_deterministic():
+    assert new_rng(7).integers(0, 1000) == new_rng(7).integers(0, 1000)
+
+
+def test_new_rng_passthrough():
+    generator = np.random.default_rng(0)
+    assert new_rng(generator) is generator
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    children_a = spawn_rngs(5, 3)
+    children_b = spawn_rngs(5, 3)
+    draws_a = [c.integers(0, 10**6) for c in children_a]
+    draws_b = [c.integers(0, 10**6) for c in children_b]
+    assert draws_a == draws_b
+    assert len(set(draws_a)) > 1
+
+
+def test_spawn_rngs_negative_count_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_choice_without_replacement_returns_all_when_small():
+    assert sorted(choice_without_replacement(new_rng(0), [1, 2, 3], 10)) == [1, 2, 3]
+
+
+def test_choice_without_replacement_distinct():
+    chosen = choice_without_replacement(new_rng(0), list(range(100)), 10)
+    assert len(chosen) == len(set(chosen)) == 10
+
+
+def test_stable_hash_is_stable():
+    assert stable_hash("entity_42") == stable_hash("entity_42")
+    assert stable_hash("entity_42") != stable_hash("entity_43")
+
+
+def test_stable_hash_modulus():
+    assert 0 <= stable_hash("anything", modulus=97) < 97

@@ -1,0 +1,46 @@
+"""Tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_comparison, format_table
+
+
+def test_format_table_basic_layout():
+    text = format_table(["model", "mrr"], [["MMKGR", 0.801], ["RLH", 0.624]], title="Table III")
+    lines = text.splitlines()
+    assert lines[0] == "Table III"
+    assert "model" in lines[1] and "mrr" in lines[1]
+    assert "MMKGR" in lines[3]
+    assert "0.801" in lines[3]
+
+
+def test_format_table_handles_none():
+    text = format_table(["a"], [[None]])
+    assert "-" in text.splitlines()[-1]
+
+
+def test_format_table_precision():
+    text = format_table(["x"], [[0.123456]], precision=2)
+    assert "0.12" in text
+
+
+def test_format_table_mismatched_row_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_format_comparison_includes_reference_rows():
+    text = format_comparison(
+        ["hits@1"],
+        measured={"MMKGR": [0.25]},
+        reference={"MMKGR": [73.6]},
+    )
+    assert "MMKGR (paper)" in text
+    assert "73.6" in text
+
+
+def test_format_comparison_skips_missing_reference():
+    text = format_comparison(["hits@1"], measured={"NEW": [0.1]}, reference={})
+    assert "NEW" in text and "(paper)" not in text
