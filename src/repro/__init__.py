@@ -9,14 +9,27 @@ unified gate-attention fusion network, the complementary feature-aware
 reinforcement-learning agent with the 3D reward, every ablation variant, and
 reimplementations of the baselines the paper compares against.
 
-Typical usage::
+Typical usage — train once, query many times::
 
-    from repro import build_named_dataset, MMKGRPipeline, fast_preset
+    from repro import Reasoner, build_named_dataset, fast_preset, load_reasoner
 
     dataset = build_named_dataset("wn9-img-txt", scale=0.5)
-    pipeline = MMKGRPipeline(dataset, preset=fast_preset())
-    result = pipeline.run()
-    print(result.entity_metrics)
+    reasoner = Reasoner(preset=fast_preset()).fit(dataset)
+
+    # Single query: ranked entities with their reasoning paths.
+    for prediction in reasoner.query("wn9-img-txt/entity_00001", "base_rel_000", k=5):
+        print(prediction.entity_name, prediction.score, prediction.render_path())
+
+    # Serving traffic: one vectorized beam search across the whole batch.
+    answers = reasoner.query_batch([(head, relation), ...], k=10)
+
+    # Persist and restore without retraining.
+    reasoner.save("checkpoints/mmkgr")
+    restored = load_reasoner("checkpoints/mmkgr")
+
+Batch experiments (tables/figures of the paper) still run through
+:class:`MMKGRPipeline`, :func:`run_baseline`, and :class:`ExperimentRunner`,
+which now sit on top of the same reasoner protocol.
 """
 
 from repro.core.ablations import AblationName, build_ablation_pipeline
@@ -48,10 +61,22 @@ from repro.kg.datasets import (
 )
 from repro.kg.graph import KnowledgeGraph, Triple
 from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
+from repro.serve import (
+    EmbeddingReasoner,
+    Prediction,
+    Reasoner,
+    ReasonerProtocol,
+    load_reasoner,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Reasoner",
+    "ReasonerProtocol",
+    "Prediction",
+    "EmbeddingReasoner",
+    "load_reasoner",
     "save_checkpoint",
     "load_checkpoint",
     "Explainer",

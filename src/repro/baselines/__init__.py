@@ -17,7 +17,9 @@ from repro.baselines.registry import (
     BaselineResult,
     BaselineRunner,
     available_baselines,
+    fit_baseline,
     get_baseline,
+    result_from_reasoner,
     run_baseline,
 )
 from repro.baselines.mtrl import MTRLBaseline
@@ -33,7 +35,9 @@ __all__ = [
     "BaselineResult",
     "BaselineRunner",
     "available_baselines",
+    "fit_baseline",
     "get_baseline",
+    "result_from_reasoner",
     "run_baseline",
     "MTRLBaseline",
     "TransAEBaseline",

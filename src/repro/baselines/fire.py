@@ -18,10 +18,10 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.baselines.registry import BaselineResult, register_baseline
+from repro.baselines.registry import FittableBaseline, register_baseline
 from repro.core.config import ExperimentPreset, fast_preset
-from repro.core.evaluator import evaluate_entity_prediction, evaluate_relation_prediction
 from repro.core.trainer import MMKGRPipeline
+from repro.serve.reasoner import Reasoner
 from repro.features.extraction import ModalityConfig
 from repro.fusion.variants import FusionVariant
 from repro.kg.datasets import MKGDataset
@@ -74,18 +74,17 @@ def _fire_preset(preset: ExperimentPreset) -> ExperimentPreset:
 
 
 @register_baseline
-class FIREBaseline:
+class FIREBaseline(FittableBaseline):
     """Structure-only RL with shaped destination reward and pruned search."""
 
     name = "FIRE"
 
-    def run(
+    def fit(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
-        evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
+    ) -> Reasoner:
         preset = _fire_preset(preset or fast_preset())
         pipeline = MMKGRPipeline(
             dataset,
@@ -106,23 +105,4 @@ class FIREBaseline:
             prune_to=max(8, (preset.model.max_actions or 32) // 2),
         )
         pipeline.train()
-        entity_metrics = evaluate_entity_prediction(
-            pipeline.agent,
-            pipeline.environment,
-            dataset.splits.test,
-            filter_graph=dataset.graph,
-            config=preset.evaluation,
-            rng=rng,
-        )
-        relation_metrics: Dict[str, float] = {}
-        if evaluate_relations:
-            relation_metrics = evaluate_relation_prediction(
-                pipeline.agent,
-                pipeline.environment,
-                dataset.splits.test,
-                config=preset.evaluation,
-                rng=rng,
-            )
-        return BaselineResult(
-            name=self.name, entity_metrics=entity_metrics, relation_metrics=relation_metrics
-        )
+        return Reasoner.from_pipeline(pipeline, name=self.name)

@@ -19,12 +19,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.baselines.mtrl import forward_relations, relation_map_for_embedding_model
-from repro.baselines.registry import BaselineResult, register_baseline
+from repro.baselines.registry import FittableBaseline, register_baseline
 from repro.core.config import ExperimentPreset, fast_preset
 from repro.embeddings.base import KGEmbeddingModel
-from repro.embeddings.evaluation import evaluate_embedding_model
 from repro.embeddings.trainer import EmbeddingTrainer
+from repro.serve.reasoner import EmbeddingReasoner
 from repro.embeddings.transe import TransE
 from repro.kg.datasets import MKGDataset
 from repro.kg.graph import KnowledgeGraph
@@ -106,18 +105,17 @@ class AttenuatedAttentionModel(KGEmbeddingModel):
 
 
 @register_baseline
-class GAATsBaseline:
+class GAATsBaseline(FittableBaseline):
     """Graph attenuated attention baseline (non-RL, structure-only)."""
 
     name = "GAATs"
 
-    def run(
+    def fit(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
-        evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
+    ) -> EmbeddingReasoner:
         preset = preset or fast_preset()
         rng = new_rng(rng)
         transe = TransE(
@@ -125,17 +123,4 @@ class GAATsBaseline:
         )
         EmbeddingTrainer(transe, preset.embedding, rng=rng).fit(dataset.splits.train)
         model = AttenuatedAttentionModel(dataset.train_graph, transe, rounds=1)
-        entity_metrics = evaluate_embedding_model(
-            model,
-            dataset.splits.test,
-            filter_graph=dataset.graph,
-            hits_at=preset.evaluation.hits_at,
-        )
-        relation_metrics: Dict[str, float] = {}
-        if evaluate_relations:
-            relation_metrics = relation_map_for_embedding_model(
-                model, dataset.splits.test, forward_relations(dataset.graph), dataset.graph
-            )
-        return BaselineResult(
-            name=self.name, entity_metrics=entity_metrics, relation_metrics=relation_metrics
-        )
+        return EmbeddingReasoner(model, name=self.name, filter_graph=dataset.graph)

@@ -14,14 +14,13 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.baselines.registry import BaselineResult, register_baseline
-from repro.core.ablations import AblationName
+from repro.baselines.registry import FittableBaseline, register_baseline
 from repro.core.config import ExperimentPreset, fast_preset
-from repro.core.evaluator import evaluate_relation_prediction
 from repro.core.trainer import MMKGRPipeline
 from repro.features.extraction import ModalityConfig
 from repro.fusion.variants import FusionVariant
 from repro.kg.datasets import MKGDataset
+from repro.serve.reasoner import Reasoner
 from repro.utils.rng import SeedLike
 
 
@@ -34,18 +33,17 @@ def _structure_only_preset(preset: ExperimentPreset) -> ExperimentPreset:
 
 
 @register_baseline
-class MinervaBaseline:
+class MinervaBaseline(FittableBaseline):
     """Structure-only REINFORCE walker with the sparse 0/1 terminal reward."""
 
     name = "MINERVA"
 
-    def run(
+    def fit(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
-        evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
+    ) -> Reasoner:
         preset = _structure_only_preset(preset or fast_preset())
         pipeline = MMKGRPipeline(
             dataset,
@@ -55,18 +53,5 @@ class MinervaBaseline:
             shaping_scorer="none",
             rng=rng,
         )
-        result = pipeline.run(evaluate_relations=False)
-        relation_metrics: Dict[str, float] = {}
-        if evaluate_relations:
-            relation_metrics = evaluate_relation_prediction(
-                pipeline.agent,
-                pipeline.environment,
-                dataset.splits.test,
-                config=preset.evaluation,
-                rng=rng,
-            )
-        return BaselineResult(
-            name=self.name,
-            entity_metrics=result.entity_metrics,
-            relation_metrics=relation_metrics,
-        )
+        pipeline.train()
+        return Reasoner.from_pipeline(pipeline, name=self.name)

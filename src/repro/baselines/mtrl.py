@@ -20,11 +20,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.registry import BaselineResult, register_baseline
+from repro.baselines.registry import FittableBaseline, register_baseline
 from repro.core.config import ExperimentPreset, fast_preset
 from repro.embeddings.base import KGEmbeddingModel
-from repro.embeddings.evaluation import evaluate_embedding_model
 from repro.embeddings.trainer import EmbeddingTrainer
+from repro.serve.reasoner import EmbeddingReasoner
 from repro.kg.datasets import MKGDataset
 from repro.kg.graph import KnowledgeGraph, Triple
 from repro.utils.metrics import average_precision
@@ -183,18 +183,17 @@ def forward_relations(graph: KnowledgeGraph) -> List[int]:
 
 
 @register_baseline
-class MTRLBaseline:
+class MTRLBaseline(FittableBaseline):
     """Single-hop multi-modal translation baseline."""
 
     name = "MTRL"
 
-    def run(
+    def fit(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
-        evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
+    ) -> EmbeddingReasoner:
         preset = preset or fast_preset()
         rng = new_rng(rng)
         multimodal = np.concatenate(
@@ -209,17 +208,4 @@ class MTRLBaseline:
         )
         trainer = EmbeddingTrainer(model, preset.embedding, rng=rng)
         trainer.fit(dataset.splits.train)
-        entity_metrics = evaluate_embedding_model(
-            model, dataset.splits.test, filter_graph=dataset.graph, hits_at=preset.evaluation.hits_at
-        )
-        relation_metrics: Dict[str, float] = {}
-        if evaluate_relations:
-            relation_metrics = relation_map_for_embedding_model(
-                model,
-                dataset.splits.test,
-                forward_relations(dataset.graph),
-                dataset.graph,
-            )
-        return BaselineResult(
-            name=self.name, entity_metrics=entity_metrics, relation_metrics=relation_metrics
-        )
+        return EmbeddingReasoner(model, name=self.name, filter_graph=dataset.graph)

@@ -24,11 +24,11 @@ import numpy as np
 from scipy import sparse
 
 from repro.baselines.mtrl import forward_relations
-from repro.baselines.registry import BaselineResult, register_baseline
+from repro.baselines.registry import FittableBaseline, register_baseline
 from repro.core.config import ExperimentPreset, fast_preset
 from repro.kg.datasets import MKGDataset
 from repro.kg.graph import KnowledgeGraph, Triple
-from repro.utils.metrics import RankingResult, average_precision, rank_of_target
+from repro.serve.reasoner import RuleReasonerAdapter
 from repro.utils.rng import SeedLike
 
 
@@ -160,7 +160,7 @@ class RuleReasoner:
 
 
 @register_baseline
-class NeuralLPBaseline:
+class NeuralLPBaseline(FittableBaseline):
     """Rule-mining multi-hop baseline (no RL, no multi-modal features)."""
 
     name = "NeuralLP"
@@ -168,48 +168,12 @@ class NeuralLPBaseline:
     def __init__(self, max_rule_length: int = 2):
         self.max_rule_length = max_rule_length
 
-    def run(
+    def fit(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
-        evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
-        preset = preset or fast_preset()
+    ) -> RuleReasonerAdapter:
         reasoner = RuleReasoner(dataset.train_graph, max_rule_length=self.max_rule_length)
-        relations = forward_relations(dataset.graph)
-        reasoner.mine(relations)
-
-        ranking = RankingResult()
-        for triple in dataset.splits.test:
-            scores = reasoner.score_tails(triple.head, triple.relation)
-            known = dataset.graph.tails_for(triple.head, triple.relation)
-            for other in known:
-                if other != triple.tail:
-                    scores[other] = -np.inf
-            ranking.add(rank_of_target(scores, triple.tail))
-        entity_metrics = ranking.summary(hits_at=preset.evaluation.hits_at)
-
-        relation_metrics: Dict[str, float] = {}
-        if evaluate_relations:
-            per_relation: Dict[int, List[float]] = {}
-            all_aps: List[float] = []
-            for triple in dataset.splits.test:
-                scored = [
-                    (relation, reasoner.score_triple(triple.head, relation, triple.tail))
-                    for relation in relations
-                ]
-                scored.sort(key=lambda item: item[1], reverse=True)
-                relevance = [1 if rel == triple.relation else 0 for rel, _ in scored]
-                ap = average_precision(relevance)
-                per_relation.setdefault(triple.relation, []).append(ap)
-                all_aps.append(ap)
-            relation_metrics = {
-                dataset.graph.relations.symbol(rel): float(np.mean(values))
-                for rel, values in per_relation.items()
-            }
-            relation_metrics["overall"] = float(np.mean(all_aps)) if all_aps else 0.0
-
-        return BaselineResult(
-            name=self.name, entity_metrics=entity_metrics, relation_metrics=relation_metrics
-        )
+        reasoner.mine(forward_relations(dataset.graph))
+        return RuleReasonerAdapter(reasoner, name=self.name, filter_graph=dataset.graph)

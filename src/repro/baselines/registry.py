@@ -1,18 +1,22 @@
 """Uniform interface and registry for baseline models.
 
-Every baseline implements :class:`BaselineRunner`: given a dataset and a
-preset it trains itself and reports the same metric dictionaries MMKGR
-reports, so the experiment runner can iterate over models without caring how
-each one works internally.
+Every baseline implements :class:`BaselineRunner`: ``fit`` trains the model
+on a dataset and returns a *queryable* reasoner (the
+:class:`~repro.serve.protocol.ReasonerProtocol` contract shared with MMKGR),
+so callers can keep the trained model, answer ``(head, relation, ?)``
+queries, and persist it.  :func:`run_baseline` remains as a thin shim that
+fits a baseline and immediately evaluates it into the metric dictionaries
+the experiment tables consume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Protocol, Type
+from typing import Dict, List, Optional, Protocol, Type
 
 from repro.core.config import ExperimentPreset, fast_preset
 from repro.kg.datasets import MKGDataset
+from repro.serve.protocol import ReasonerProtocol
 from repro.utils.rng import SeedLike
 
 
@@ -38,14 +42,51 @@ class BaselineRunner(Protocol):
 
     name: str
 
+    def fit(
+        self,
+        dataset: MKGDataset,
+        preset: Optional[ExperimentPreset] = None,
+        rng: SeedLike = None,
+    ) -> ReasonerProtocol:
+        """Train on ``dataset`` and return the queryable trained model."""
+        ...
+
     def run(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
         evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
+    ) -> "BaselineResult":
+        """Legacy shim: fit, evaluate, and report only the metric bundle."""
         ...
+
+
+class FittableBaseline:
+    """Base class giving every baseline the legacy ``run`` shim over ``fit``."""
+
+    name = ""
+
+    def fit(
+        self,
+        dataset: MKGDataset,
+        preset: Optional[ExperimentPreset] = None,
+        rng: SeedLike = None,
+    ) -> ReasonerProtocol:
+        raise NotImplementedError
+
+    def run(
+        self,
+        dataset: MKGDataset,
+        preset: Optional[ExperimentPreset] = None,
+        evaluate_relations: bool = False,
+        rng: SeedLike = None,
+    ) -> "BaselineResult":
+        preset = preset or fast_preset()
+        reasoner = self.fit(dataset, preset=preset, rng=rng)
+        return result_from_reasoner(
+            reasoner, dataset, preset, evaluate_relations=evaluate_relations, rng=rng
+        )
 
 
 BASELINE_REGISTRY: Dict[str, Type] = {}
@@ -80,6 +121,44 @@ def get_baseline(name: str) -> BaselineRunner:
     return cls()
 
 
+def fit_baseline(
+    name: str,
+    dataset: MKGDataset,
+    preset: Optional[ExperimentPreset] = None,
+    rng: SeedLike = None,
+) -> ReasonerProtocol:
+    """Train a registered baseline and return the queryable trained model."""
+    runner = get_baseline(name)
+    return runner.fit(dataset, preset=preset or fast_preset(), rng=rng)
+
+
+def result_from_reasoner(
+    reasoner: ReasonerProtocol,
+    dataset: MKGDataset,
+    preset: ExperimentPreset,
+    evaluate_relations: bool = False,
+    rng: SeedLike = None,
+) -> BaselineResult:
+    """Evaluate a fitted reasoner into the table-oriented metric bundle."""
+    entity_metrics = reasoner.entity_metrics(
+        dataset.splits.test,
+        filter_graph=dataset.graph,
+        config=preset.evaluation,
+        rng=rng,
+    )
+    relation_metrics: Dict[str, float] = {}
+    if evaluate_relations:
+        relation_metrics = reasoner.relation_metrics(
+            dataset.splits.test, config=preset.evaluation, rng=rng
+        )
+    return BaselineResult(
+        name=reasoner.name,
+        entity_metrics=entity_metrics,
+        relation_metrics=relation_metrics,
+        extras=dict(getattr(reasoner, "extras", {}) or {}),
+    )
+
+
 def run_baseline(
     name: str,
     dataset: MKGDataset,
@@ -87,11 +166,12 @@ def run_baseline(
     evaluate_relations: bool = False,
     rng: SeedLike = None,
 ) -> BaselineResult:
-    """Convenience wrapper: instantiate and run a baseline in one call."""
-    runner = get_baseline(name)
-    return runner.run(
-        dataset,
-        preset=preset or fast_preset(),
-        evaluate_relations=evaluate_relations,
-        rng=rng,
+    """Thin shim over :func:`fit_baseline`: train, evaluate, report metrics.
+
+    The trained model itself is discarded; callers that want to keep it (to
+    answer queries or to reuse it across tables) should call
+    :func:`fit_baseline` and evaluate through the reasoner protocol.
+    """
+    return get_baseline(name).run(
+        dataset, preset=preset, evaluate_relations=evaluate_relations, rng=rng
     )

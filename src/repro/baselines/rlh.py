@@ -17,11 +17,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.registry import BaselineResult, register_baseline
+from repro.baselines.registry import FittableBaseline, register_baseline
 from repro.core.config import ExperimentPreset, fast_preset
-from repro.core.evaluator import evaluate_entity_prediction, evaluate_relation_prediction
 from repro.core.model import MMKGRAgent
 from repro.core.trainer import MMKGRPipeline
+from repro.serve.reasoner import Reasoner
 from repro.features.extraction import ModalityConfig
 from repro.fusion.variants import FusionVariant
 from repro.kg.datasets import MKGDataset
@@ -73,18 +73,17 @@ def _rlh_preset(preset: ExperimentPreset) -> ExperimentPreset:
 
 
 @register_baseline
-class RLHBaseline:
+class RLHBaseline(FittableBaseline):
     """Hierarchical structure-only RL baseline (the paper's strongest baseline)."""
 
     name = "RLH"
 
-    def run(
+    def fit(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
-        evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
+    ) -> Reasoner:
         preset = _rlh_preset(preset or fast_preset())
         pipeline = MMKGRPipeline(
             dataset,
@@ -98,23 +97,4 @@ class RLHBaseline:
         # Swap in the hierarchical agent before training.
         pipeline.agent = HierarchicalAgent(pipeline.features, config=preset.model, rng=rng)
         pipeline.train()
-        entity_metrics = evaluate_entity_prediction(
-            pipeline.agent,
-            pipeline.environment,
-            dataset.splits.test,
-            filter_graph=dataset.graph,
-            config=preset.evaluation,
-            rng=rng,
-        )
-        relation_metrics: Dict[str, float] = {}
-        if evaluate_relations:
-            relation_metrics = evaluate_relation_prediction(
-                pipeline.agent,
-                pipeline.environment,
-                dataset.splits.test,
-                config=preset.evaluation,
-                rng=rng,
-            )
-        return BaselineResult(
-            name=self.name, entity_metrics=entity_metrics, relation_metrics=relation_metrics
-        )
+        return Reasoner.from_pipeline(pipeline, name=self.name)

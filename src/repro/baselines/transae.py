@@ -22,12 +22,11 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.mtrl import forward_relations, relation_map_for_embedding_model
-from repro.baselines.registry import BaselineResult, register_baseline
+from repro.baselines.registry import FittableBaseline, register_baseline
 from repro.core.config import ExperimentPreset, fast_preset
 from repro.embeddings.base import KGEmbeddingModel
-from repro.embeddings.evaluation import evaluate_embedding_model
 from repro.embeddings.trainer import EmbeddingTrainer
+from repro.serve.reasoner import EmbeddingReasoner
 from repro.kg.datasets import MKGDataset
 from repro.kg.graph import KnowledgeGraph, Triple
 from repro.utils.rng import SeedLike, new_rng
@@ -156,18 +155,17 @@ class TransAE(KGEmbeddingModel):
 
 
 @register_baseline
-class TransAEBaseline:
+class TransAEBaseline(FittableBaseline):
     """Single-hop multi-modal autoencoder baseline."""
 
     name = "TransAE"
 
-    def run(
+    def fit(
         self,
         dataset: MKGDataset,
         preset: Optional[ExperimentPreset] = None,
-        evaluate_relations: bool = False,
         rng: SeedLike = None,
-    ) -> BaselineResult:
+    ) -> EmbeddingReasoner:
         preset = preset or fast_preset()
         rng = new_rng(rng)
         multimodal = np.concatenate(
@@ -181,23 +179,6 @@ class TransAEBaseline:
         )
         trainer = EmbeddingTrainer(model, preset.embedding, rng=rng)
         trainer.fit(dataset.splits.train)
-        entity_metrics = evaluate_embedding_model(
-            model,
-            dataset.splits.test,
-            filter_graph=dataset.graph,
-            hits_at=preset.evaluation.hits_at,
-        )
-        relation_metrics: Dict[str, float] = {}
-        if evaluate_relations:
-            relation_metrics = relation_map_for_embedding_model(
-                model,
-                dataset.splits.test,
-                forward_relations(dataset.graph),
-                dataset.graph,
-            )
-        return BaselineResult(
-            name=self.name,
-            entity_metrics=entity_metrics,
-            relation_metrics=relation_metrics,
-            extras={"reconstruction_error": model.reconstruction_error()},
-        )
+        reasoner = EmbeddingReasoner(model, name=self.name, filter_graph=dataset.graph)
+        reasoner.extras = {"reconstruction_error": model.reconstruction_error()}
+        return reasoner

@@ -144,6 +144,88 @@ def cmd_fewshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_serving_reasoner(checkpoint: str):
+    """A queryable reasoner from either a reasoner save or a bare checkpoint."""
+    from repro.serve.reasoner import REASONER_FILE, Reasoner, load_reasoner
+
+    if (Path(checkpoint) / REASONER_FILE).exists():
+        return load_reasoner(checkpoint)
+    # Bare pipeline checkpoints (written by `mmkgr train --output`) serve too.
+    return Reasoner.from_pipeline(load_checkpoint(checkpoint))
+
+
+def _print_predictions(head: str, relation: str, predictions) -> None:
+    rows = [
+        [rank, p.entity_name, f"{p.score:.4f}", p.hops, p.render_path()]
+        for rank, p in enumerate(predictions, start=1)
+    ]
+    print(
+        format_table(
+            ["rank", "entity", "score", "hops", "reasoning path"],
+            rows,
+            title=f"({head}, {relation}, ?)",
+        )
+    )
+
+
+def _id_or_name(value) -> object:
+    """CLI operands arrive as strings; numeric ones are entity/relation ids."""
+    text = str(value)
+    return int(text) if text.lstrip("-").isdigit() else text
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    reasoner = _load_serving_reasoner(args.checkpoint)
+    predictions = reasoner.query(
+        _id_or_name(args.head), _id_or_name(args.relation), k=args.k
+    )
+    if args.json:
+        print(json.dumps([p.to_dict() for p in predictions], indent=2))
+    else:
+        _print_predictions(args.head, args.relation, predictions)
+    return 0
+
+
+def _read_query_file(path: str):
+    """Queries from a file: JSON list of [head, relation] or TSV head<TAB>relation."""
+    text = Path(path).read_text(encoding="utf-8")
+    if path.endswith(".json"):
+        payload = json.loads(text)
+        return [(_id_or_name(item[0]), _id_or_name(item[1])) for item in payload]
+    queries = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split("\t")
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{number}: expected 'head<TAB>relation', got {line!r}")
+        queries.append((_id_or_name(parts[0]), _id_or_name(parts[1])))
+    return queries
+
+
+def cmd_serve_batch(args: argparse.Namespace) -> int:
+    reasoner = _load_serving_reasoner(args.checkpoint)
+    queries = _read_query_file(args.queries)
+    results = reasoner.query_batch(queries, k=args.k)
+    if args.output:
+        payload = [
+            {
+                "head": str(head),
+                "relation": str(relation),
+                "predictions": [p.to_dict() for p in predictions],
+            }
+            for (head, relation), predictions in zip(queries, results)
+        ]
+        Path(args.output).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"answered {len(queries)} queries; results written to {args.output}")
+    else:
+        for (head, relation), predictions in zip(queries, results):
+            _print_predictions(str(head), str(relation), predictions)
+            print()
+    return 0
+
+
 def cmd_baselines(args: argparse.Namespace) -> int:
     preset = _resolve_preset(args)
     dataset = build_named_dataset(args.dataset, scale=args.scale, seed=args.seed)
@@ -221,6 +303,33 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--checkpoint", required=True)
     evaluate.add_argument("--csv", type=str, default=None, help="write metrics to this CSV file")
     evaluate.set_defaults(handler=cmd_evaluate)
+
+    # query -----------------------------------------------------------------
+    query = subparsers.add_parser(
+        "query", help="answer one (head, relation, ?) query with a trained reasoner"
+    )
+    query.add_argument("--checkpoint", required=True, help="saved reasoner or checkpoint directory")
+    query.add_argument("--head", required=True, help="head entity name or integer id")
+    query.add_argument("--relation", required=True, help="relation name or integer id")
+    query.add_argument("-k", type=int, default=10, help="number of ranked answers (default 10)")
+    query.add_argument("--json", action="store_true", help="print predictions as JSON")
+    query.set_defaults(handler=cmd_query)
+
+    # serve-batch -----------------------------------------------------------
+    serve_batch = subparsers.add_parser(
+        "serve-batch", help="answer a file of queries with one batched beam search"
+    )
+    serve_batch.add_argument("--checkpoint", required=True)
+    serve_batch.add_argument(
+        "--queries",
+        required=True,
+        help="query file: TSV lines 'head<TAB>relation' or a .json list of pairs",
+    )
+    serve_batch.add_argument("-k", type=int, default=10)
+    serve_batch.add_argument(
+        "--output", type=str, default=None, help="write results to this JSON file"
+    )
+    serve_batch.set_defaults(handler=cmd_serve_batch)
 
     # explain ---------------------------------------------------------------
     explain = subparsers.add_parser("explain", help="explain test predictions of a checkpoint")

@@ -14,9 +14,12 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.baselines.registry import run_baseline
+import json
+
+from repro.baselines.registry import fit_baseline
 from repro.core.ablations import AblationName, build_ablation_pipeline
 from repro.core.config import EvaluationConfig, ExperimentPreset, fast_preset
+from repro.core.config_io import preset_to_dict
 from repro.core.evaluator import evaluate_entity_prediction, hop_distribution
 from repro.core.trainer import MMKGRPipeline, PipelineResult
 from repro.features.extraction import ModalityConfig
@@ -46,6 +49,9 @@ class ExperimentRunner:
         self.preset = preset or fast_preset()
         self.seed = seed
         self._datasets: Dict[str, MKGDataset] = {}
+        # Trained reasoners keyed by (dataset, model, preset fingerprint) so
+        # tables that share a trained model (III and IV) do not retrain it.
+        self._reasoners: Dict[Tuple[str, str, str], object] = {}
 
     # ------------------------------------------------------------- datasets
     def dataset(self, name: str) -> MKGDataset:
@@ -64,6 +70,38 @@ class ExperimentRunner:
             rows.append(stats.as_row())
         return rows
 
+    # ------------------------------------------------------ trained reasoners
+    def _preset_fingerprint(self, preset: ExperimentPreset) -> str:
+        return json.dumps(preset_to_dict(preset), sort_keys=True, default=str)
+
+    def reasoner_for(
+        self,
+        dataset_name: str,
+        model: str,
+        preset: Optional[ExperimentPreset] = None,
+    ):
+        """The trained reasoner for ``(dataset, model, preset)``, cached.
+
+        ``model`` is ``"MMKGR"`` or a registered baseline name.  Tables that
+        need the same trained model (entity metrics in Table III, relation
+        MAP in Table IV, the step curves of Fig. 8) share one training run
+        through this cache instead of refitting per table.
+        """
+        preset = preset or self.preset
+        key = (dataset_name, model, self._preset_fingerprint(preset))
+        if key not in self._reasoners:
+            dataset = self.dataset(dataset_name)
+            LOGGER.info("training %s on %s", model, dataset_name)
+            if model == "MMKGR":
+                pipeline = MMKGRPipeline(dataset, preset=preset, rng=self.seed)
+                pipeline.train()
+                self._reasoners[key] = pipeline.reasoner()
+            else:
+                self._reasoners[key] = fit_baseline(
+                    model, dataset, preset=preset, rng=self.seed
+                )
+        return self._reasoners[key]
+
     # ----------------------------------------------------------- main tables
     def table3_entity_link_prediction(
         self,
@@ -73,14 +111,16 @@ class ExperimentRunner:
     ) -> Dict[str, Dict[str, float]]:
         """Table III: entity link prediction for MMKGR and the baselines."""
         dataset = self.dataset(dataset_name)
+        models = list(baselines) + (["MMKGR"] if include_mmkgr else [])
         results: Dict[str, Dict[str, float]] = {}
-        for name in baselines:
-            LOGGER.info("running baseline %s on %s", name, dataset_name)
-            baseline = run_baseline(name, dataset, preset=self.preset, rng=self.seed)
-            results[name] = baseline.entity_metrics
-        if include_mmkgr:
-            pipeline = MMKGRPipeline(dataset, preset=self.preset, rng=self.seed)
-            results["MMKGR"] = pipeline.run().entity_metrics
+        for name in models:
+            reasoner = self.reasoner_for(dataset_name, name)
+            results[name] = reasoner.entity_metrics(
+                dataset.splits.test,
+                filter_graph=dataset.graph,
+                config=self.preset.evaluation,
+                rng=self.seed,
+            )
         return results
 
     def table4_relation_map(
@@ -89,17 +129,19 @@ class ExperimentRunner:
         baselines: Sequence[str] = ("MTRL", "MINERVA", "RLH"),
         include_mmkgr: bool = True,
     ) -> Dict[str, Dict[str, float]]:
-        """Table IV: relation link prediction MAP (per relation + overall)."""
+        """Table IV: relation link prediction MAP (per relation + overall).
+
+        Reuses the reasoners trained for Table III (same dataset and preset)
+        instead of training a second copy of each model.
+        """
         dataset = self.dataset(dataset_name)
+        models = list(baselines) + (["MMKGR"] if include_mmkgr else [])
         results: Dict[str, Dict[str, float]] = {}
-        for name in baselines:
-            baseline = run_baseline(
-                name, dataset, preset=self.preset, evaluate_relations=True, rng=self.seed
+        for name in models:
+            reasoner = self.reasoner_for(dataset_name, name)
+            results[name] = reasoner.relation_metrics(
+                dataset.splits.test, config=self.preset.evaluation, rng=self.seed
             )
-            results[name] = baseline.relation_metrics
-        if include_mmkgr:
-            pipeline = MMKGRPipeline(dataset, preset=self.preset, rng=self.seed)
-            results["MMKGR"] = pipeline.run(evaluate_relations=True).relation_metrics
         return results
 
     # ------------------------------------------------------------- ablations
@@ -180,13 +222,13 @@ class ExperimentRunner:
                 model=replace(self.preset.model, max_steps=max_steps)
             )
             for name in models:
-                if name == "MMKGR":
-                    pipeline = MMKGRPipeline(dataset, preset=preset, rng=self.seed)
-                    metrics = pipeline.run().entity_metrics
-                else:
-                    metrics = run_baseline(
-                        name, dataset, preset=preset, rng=self.seed
-                    ).entity_metrics
+                reasoner = self.reasoner_for(dataset_name, name, preset=preset)
+                metrics = reasoner.entity_metrics(
+                    dataset.splits.test,
+                    filter_graph=dataset.graph,
+                    config=preset.evaluation,
+                    rng=self.seed,
+                )
                 curves[name][max_steps] = metrics.get("hits@1", float("nan"))
         return curves
 
@@ -220,8 +262,13 @@ class ExperimentRunner:
         dataset = self.dataset(dataset_name)
         results: Dict[str, Dict[str, float]] = {}
         for name in models:
-            base = run_baseline(name, dataset, preset=self.preset, rng=self.seed)
-            base_hits = base.entity_metrics.get("hits@1", 0.0)
+            base_metrics = self.reasoner_for(dataset_name, name).entity_metrics(
+                dataset.splits.test,
+                filter_graph=dataset.graph,
+                config=self.preset.evaluation,
+                rng=self.seed,
+            )
+            base_hits = base_metrics.get("hits@1", 0.0)
             row: Dict[str, float] = {"base_hits@1": base_hits}
             for label, variant in (
                 ("attention", FusionVariant.CONVENTIONAL_ATTENTION),

@@ -11,7 +11,11 @@ The pipeline reproduces the full training recipe of the paper:
 4. evaluate with beam search on held-out triples.
 
 Every stage is exposed separately so ablations and benches can swap pieces
-without re-implementing the plumbing.
+without re-implementing the plumbing.  The train/serve boundary is explicit:
+:meth:`MMKGRPipeline.train` produces the trained agent,
+:meth:`MMKGRPipeline.reasoner` wraps it as a queryable
+:class:`~repro.serve.reasoner.Reasoner`, and :meth:`MMKGRPipeline.run` stays
+as the one-call train+evaluate shim the experiment tables use.
 """
 
 from __future__ import annotations
@@ -189,6 +193,29 @@ class MMKGRPipeline:
         )
         return trainer.fit(
             self.dataset.splits.train, verbose=verbose, epoch_callback=epoch_callback
+        )
+
+    # ----------------------------------------------------------------- serving
+    def reasoner(
+        self,
+        name: str = "MMKGR",
+        beam_width: Optional[int] = None,
+        cache_size: int = 4096,
+    ):
+        """The trained pipeline as a queryable serving facade.
+
+        This is the explicit train-once / query-many boundary: call
+        :meth:`train` (or :meth:`run`) first, then hand the returned
+        :class:`~repro.serve.reasoner.Reasoner` to serving code — it answers
+        ``(head, relation, ?)`` queries, batches beam search across queries,
+        and persists via ``save``/``load`` without retraining.
+        """
+        from repro.serve.reasoner import Reasoner
+
+        if self.agent is None:
+            raise RuntimeError("the pipeline has not been trained yet")
+        return Reasoner.from_pipeline(
+            self, name=name, beam_width=beam_width, cache_size=cache_size
         )
 
     # -------------------------------------------------------------- end-to-end

@@ -90,6 +90,8 @@ class FeatureStore:
         )
         self._image_matrix = mkg.image_matrix()
         self._text_matrix = mkg.text_matrix()
+        self._zero_text: Optional[np.ndarray] = None
+        self._zero_image: Optional[np.ndarray] = None
         self._pretrained = False
 
     # -------------------------------------------------------------- structural
@@ -150,6 +152,29 @@ class FeatureStore:
             return np.zeros(self.text_dim)
         return self._text_matrix[entity_id]
 
+    @property
+    def text_features(self) -> np.ndarray:
+        """The full text-feature matrix, zeroed when the modality is disabled.
+
+        Serving-path consumers (the batched beam-search engine) index this
+        with arrays of entity ids instead of calling :meth:`text_feature` in
+        a loop.
+        """
+        if not self.modalities.use_text:
+            if self._zero_text is None:
+                self._zero_text = np.zeros_like(self._text_matrix)
+            return self._zero_text
+        return self._text_matrix
+
+    @property
+    def image_features(self) -> np.ndarray:
+        """The full image-feature matrix, zeroed when the modality is disabled."""
+        if not self.modalities.use_image:
+            if self._zero_image is None:
+                self._zero_image = np.zeros_like(self._image_matrix)
+            return self._zero_image
+        return self._image_matrix
+
     def auxiliary_features(self, entity_id: int) -> np.ndarray:
         """Raw concatenation ``[f_t ; f_i]`` before the learned projections of Eq. (3)."""
         return np.concatenate([self.text_feature(entity_id), self.image_feature(entity_id)])
@@ -174,5 +199,7 @@ class FeatureStore:
         clone._relation_embeddings = self._relation_embeddings
         clone._image_matrix = self._image_matrix
         clone._text_matrix = self._text_matrix
+        clone._zero_text = None
+        clone._zero_image = None
         clone._pretrained = self._pretrained
         return clone

@@ -62,6 +62,19 @@ class PolicyNetwork(Module):
         scores = self.action_scores(fused_features, action_embeddings)
         return scores.softmax(axis=-1).data.copy()
 
+    def project_batch(self, fused_features: np.ndarray) -> np.ndarray:
+        """``W_2 ReLU(W_1 Z + b_1) + b_2`` for a ``(B, fusion_dim)`` batch.
+
+        The no-grad serving path: each row of the result is dotted with a
+        branch's action matrix to obtain that branch's action scores, so one
+        matrix product replaces ``B`` per-branch tensor pipelines.
+        """
+        hidden = np.maximum(
+            fused_features @ self.hidden_layer.weight.data + self.hidden_layer.bias.data,
+            0.0,
+        )
+        return hidden @ self.output_layer.weight.data + self.output_layer.bias.data
+
 
 def stack_action_embeddings(
     actions: Sequence[Tuple[int, int]],

@@ -1,0 +1,42 @@
+"""Serving layer: train once, query many times.
+
+The experiment-oriented entry points (:class:`~repro.core.trainer.
+MMKGRPipeline`, :func:`~repro.baselines.registry.run_baseline`) fuse training
+and evaluation into one call and discard the trained model.  This package
+introduces the query/serving API the reproduction's north star needs:
+
+* :class:`ReasonerProtocol` — the ``fit`` / ``query`` / ``query_batch`` /
+  ``save`` contract every reasoner implements;
+* :class:`Reasoner` — the facade over the multi-hop RL agents (MMKGR, its
+  ablations, and the RL baselines);
+* :class:`EmbeddingReasoner` / :class:`RuleReasonerAdapter` — the same
+  contract for the single-hop embedding baselines and NeuralLP;
+* :func:`load_reasoner` — restore any saved reasoner from disk.
+
+``query_batch`` answers many queries with one lockstep beam search whose
+policy/LSTM forward passes are batched across every branch of every query,
+which is why it beats a sequential ``query`` loop on serving traffic.
+"""
+
+from repro.serve.cache import ActionSpaceCache, LRUCache
+from repro.serve.engine import BatchBeamSearch
+from repro.serve.protocol import Prediction, QuerySpec, ReasonerProtocol
+from repro.serve.reasoner import (
+    EmbeddingReasoner,
+    Reasoner,
+    RuleReasonerAdapter,
+    load_reasoner,
+)
+
+__all__ = [
+    "ActionSpaceCache",
+    "BatchBeamSearch",
+    "EmbeddingReasoner",
+    "LRUCache",
+    "Prediction",
+    "QuerySpec",
+    "Reasoner",
+    "ReasonerProtocol",
+    "RuleReasonerAdapter",
+    "load_reasoner",
+]

@@ -1,0 +1,498 @@
+"""Vectorized lockstep beam search across many queries.
+
+The evaluation-time :func:`repro.rl.rollout.beam_search` answers one query at
+a time: every branch expansion runs its own fusion, policy, and LSTM forward
+pass on ``(1, d)``-shaped tensors, so the cost is dominated by per-op NumPy
+dispatch overhead rather than arithmetic.  This engine advances *all* queries
+of a batch depth-by-depth and batches the per-branch work:
+
+* the fusion forward pass runs on ``(B, ...)`` arrays for the gate-attention
+  family and the structure-only / concatenation fusers (exact same weights
+  and activation numerics as the module path);
+* the policy head projects every branch's complementary features in one
+  matrix product, leaving only a per-branch dot with the (cached) action
+  matrix;
+* the path-history LSTM folds all surviving expansions in one batched cell
+  evaluation.
+
+Agents that override ``action_log_probs`` (e.g. the hierarchical RLH agent)
+or use a fuser without a batched implementation fall back to per-branch
+scoring through the agent itself, so every ``ReasoningAgent`` stays
+servable — the batch engine is an optimisation, not a new contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.model import MMKGRAgent
+from repro.fusion.variants import ConcatenationFuser, StructureOnlyFuser
+from repro.fusion.gate_attention import UnifiedGateAttentionNetwork
+from repro.nn.tensor import no_grad
+from repro.rl.environment import EpisodeState, MKGEnvironment, Query
+from repro.rl.policy import PolicyNetwork
+from repro.rl.rollout import BeamSearchResult
+from repro.serve.cache import ActionSpaceCache
+
+_LOG_EPS = 1e-12
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    """Matches ``Tensor.sigmoid`` numerics (clipped, branch-stable)."""
+    clipped = np.clip(x, -500, 500)
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-clipped)),
+        np.exp(clipped) / (1.0 + np.exp(clipped)),
+    )
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+@dataclass
+class _Branch:
+    """One beam entry: graph position plus the branch's LSTM history state."""
+
+    entity: int
+    step: int
+    log_prob: float
+    path: Tuple[Tuple[int, int], ...]
+    hidden: np.ndarray  # (1, history_dim)
+    cell: np.ndarray  # (1, history_dim)
+    dead: bool = False  # no outgoing actions; excluded from expansion
+
+
+class _BatchedLSTM:
+    """Batched evaluation of the agent's ``LSTMCell`` on plain arrays."""
+
+    def __init__(self, agent: MMKGRAgent):
+        cell = agent.history_encoder.cell
+        self.weight_ih = cell.weight_ih.data
+        self.weight_hh = cell.weight_hh.data
+        self.bias = cell.bias.data
+        self.hidden_size = cell.hidden_size
+
+    def step(
+        self, inputs: np.ndarray, hidden: np.ndarray, cell: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        gates = inputs @ self.weight_ih + hidden @ self.weight_hh + self.bias
+        h = self.hidden_size
+        i_gate = _sigmoid(gates[:, 0:h])
+        f_gate = _sigmoid(gates[:, h : 2 * h])
+        g_gate = np.tanh(gates[:, 2 * h : 3 * h])
+        o_gate = _sigmoid(gates[:, 3 * h : 4 * h])
+        c_next = f_gate * cell + i_gate * g_gate
+        h_next = o_gate * np.tanh(c_next)
+        return h_next, c_next
+
+
+class _BatchedFusion:
+    """Batched forward of the fusers with a vectorized implementation."""
+
+    def __init__(self, agent: MMKGRAgent):
+        self.agent = agent
+        fuser = agent.fuser
+        self.kind: Optional[str] = None
+        if isinstance(fuser, UnifiedGateAttentionNetwork):
+            self.kind = "gate_attention"
+            self.use_attention = getattr(fuser, "use_attention", True)
+            self.use_filtration = getattr(fuser, "use_filtration", True)
+        elif isinstance(fuser, StructureOnlyFuser):
+            self.kind = "structure_only"
+        elif isinstance(fuser, ConcatenationFuser):
+            self.kind = "concatenation"
+
+    @property
+    def supported(self) -> bool:
+        return self.kind is not None
+
+    @property
+    def needs_modalities(self) -> bool:
+        """Whether the fuser consumes text/image features at all."""
+        return self.kind != "structure_only"
+
+    # ------------------------------------------------------------------ paths
+    def fuse(
+        self,
+        source: np.ndarray,
+        current: np.ndarray,
+        relation: np.ndarray,
+        history: np.ndarray,
+        source_text: Optional[np.ndarray],
+        source_image: Optional[np.ndarray],
+        current_text: Optional[np.ndarray],
+        current_image: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Complementary features ``Z`` for a batch of branches, shape (B, j).
+
+        The modality arguments may be ``None`` when :attr:`needs_modalities`
+        is false — structure-only fusers never read them.
+        """
+        if self.kind == "structure_only":
+            fuser = self.agent.fuser
+            flat = np.concatenate([source, current, relation, history], axis=1)
+            out = flat @ fuser.projection.weight.data + fuser.projection.bias.data
+            return np.maximum(out, 0.0)
+        if self.kind == "concatenation":
+            fuser = self.agent.fuser
+            flat = np.concatenate(
+                [
+                    source,
+                    current,
+                    relation,
+                    0.5 * (source_text + current_text),
+                    0.5 * (source_image + current_image),
+                    history,
+                ],
+                axis=1,
+            )
+            out = flat @ fuser.projection.weight.data + fuser.projection.bias.data
+            return np.maximum(out, 0.0)
+        return self._gate_attention(
+            source,
+            current,
+            relation,
+            history,
+            source_text,
+            source_image,
+            current_text,
+            current_image,
+        )
+
+    def _gate_attention(
+        self,
+        source: np.ndarray,
+        current: np.ndarray,
+        relation: np.ndarray,
+        history: np.ndarray,
+        source_text: np.ndarray,
+        source_image: np.ndarray,
+        current_text: np.ndarray,
+        current_image: np.ndarray,
+    ) -> np.ndarray:
+        fuser = self.agent.fuser
+        batch = source.shape[0]
+        # Structural slots y_i = [e ; h_t ; r_q] (Eq. 1), three per branch.
+        structural = np.stack(
+            [
+                np.concatenate([source, history, relation], axis=1),
+                np.concatenate([current, history, relation], axis=1),
+                np.concatenate([relation, history, source], axis=1),
+            ],
+            axis=1,
+        )  # (B, 3, slot_dim)
+        # Auxiliary slots x_i = [f_t W_t ; f_i W_i] (Eq. 3).
+        w_text = fuser.text_projection.weight.data
+        w_image = fuser.image_projection.weight.data
+        aux_source = np.concatenate([source_text @ w_text, source_image @ w_image], axis=1)
+        aux_current = np.concatenate(
+            [current_text @ w_text, current_image @ w_image], axis=1
+        )
+        auxiliary = np.stack([aux_source, aux_current, aux_source], axis=1)  # (B, 3, d_x)
+
+        fusion = fuser.attention_fusion
+        slots = structural.shape[1]
+        struct_flat = structural.reshape(batch * slots, -1)
+        aux_flat = auxiliary.reshape(batch * slots, -1)
+        query = (aux_flat @ fusion.w_query.weight.data).reshape(batch, slots, -1)
+        key = (struct_flat @ fusion.w_key.weight.data).reshape(batch, slots, -1)
+        value = (struct_flat @ fusion.w_value.weight.data).reshape(batch, slots, -1)
+
+        joint_left = (key @ fusion.w_l_key.weight.data) * (
+            query @ fusion.w_l_query.weight.data
+        )
+        joint_right = (value @ fusion.w_r_value.weight.data) * (
+            query @ fusion.w_r_query.weight.data
+        )
+
+        if self.use_attention:
+            gate = _sigmoid(joint_left @ fusion.w_gate.weight.data)  # (B, 3, d)
+            gated_key = gate * key
+            gated_query = (1.0 - gate) * query
+            scale = 1.0 / np.sqrt(fusion.config.attention_dim)
+            scores = np.einsum("bmd,bnd->bmn", gated_key, gated_query) * scale
+            attention = _softmax(scores, axis=-1)
+            mixing = _sigmoid(
+                np.einsum("bmn,bnd->bmd", attention, key) @ fusion.w_aggregate.weight.data
+            )  # (B, 3, 1)
+            attended = mixing * np.einsum("bmn,bnj->bmj", attention, joint_right)
+        else:
+            attended = joint_left
+
+        if self.use_filtration:
+            interaction = joint_right * attended
+            features = _sigmoid(interaction) * interaction
+        else:
+            features = attended
+        return features.sum(axis=1)  # (B, j)
+
+
+class BatchBeamSearch:
+    """Lockstep beam search over a batch of queries against one trained agent."""
+
+    def __init__(
+        self,
+        agent: MMKGRAgent,
+        environment: MKGEnvironment,
+        cache: Optional[ActionSpaceCache] = None,
+        beam_width: int = 8,
+    ):
+        if beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        self.agent = agent
+        self.environment = environment
+        self.beam_width = beam_width
+        features = agent.features
+        self.cache = cache or ActionSpaceCache(
+            environment, features.relation_embeddings, features.entity_embeddings
+        )
+        self._lstm = _BatchedLSTM(agent)
+        self._fusion = _BatchedFusion(agent)
+        # The fast path requires the stock scoring pipeline; subclasses that
+        # reinterpret action scores (e.g. hierarchical policies) go through
+        # the agent itself, branch by branch.
+        self._fast_policy = (
+            type(agent).action_log_probs is MMKGRAgent.action_log_probs
+            and isinstance(agent.policy, PolicyNetwork)
+            and self._fusion.supported
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _state_for(self, query: Query, branch: _Branch) -> EpisodeState:
+        state = EpisodeState(
+            query=query,
+            current_entity=branch.entity,
+            step=branch.step,
+            path=list(branch.path),
+        )
+        state._no_op_ids = self.environment.no_op_relation_ids
+        return state
+
+    def _initial_branches(self, queries: Sequence[Query]) -> List[List[_Branch]]:
+        """Seed one branch per query; histories start with one batched LSTM step."""
+        features = self.agent.features
+        dim = features.structural_dim
+        batch = len(queries)
+        sources = np.fromiter((q.source for q in queries), dtype=np.intp, count=batch)
+        inputs = np.concatenate(
+            [np.zeros((batch, dim)), features.entity_embeddings[sources]], axis=1
+        )
+        hidden = np.zeros((batch, self._lstm.hidden_size))
+        cell = np.zeros((batch, self._lstm.hidden_size))
+        hidden, cell = self._lstm.step(inputs, hidden, cell)
+        return [
+            [
+                _Branch(
+                    entity=query.source,
+                    step=0,
+                    log_prob=0.0,
+                    path=(),
+                    hidden=hidden[i : i + 1],
+                    cell=cell[i : i + 1],
+                )
+            ]
+            for i, query in enumerate(queries)
+        ]
+
+    def _score_branches(
+        self,
+        entries: List[Tuple[int, _Branch, List[Tuple[int, int]], np.ndarray]],
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        """Action probabilities for every (query, branch) entry."""
+        if self._fast_policy:
+            return self._score_fast(entries, queries)
+        return self._score_via_agent(entries, queries)
+
+    def _score_fast(
+        self,
+        entries: List[Tuple[int, _Branch, List[Tuple[int, int]], np.ndarray]],
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        features = self.agent.features
+        batch = len(entries)
+        sources = np.fromiter(
+            (queries[qi].source for qi, *_ in entries), dtype=np.intp, count=batch
+        )
+        currents = np.fromiter(
+            (branch.entity for _, branch, *_ in entries), dtype=np.intp, count=batch
+        )
+        relations = np.fromiter(
+            (queries[qi].relation for qi, *_ in entries), dtype=np.intp, count=batch
+        )
+        history = np.concatenate([branch.hidden for _, branch, *_ in entries], axis=0)
+        if self._fusion.needs_modalities:
+            source_text = features.text_features[sources]
+            source_image = features.image_features[sources]
+            current_text = features.text_features[currents]
+            current_image = features.image_features[currents]
+        else:
+            # Structure-only fusers never read the modality slots; skip the
+            # four per-round feature gathers entirely.
+            source_text = source_image = current_text = current_image = None
+        fused = self._fusion.fuse(
+            features.entity_embeddings[sources],
+            features.entity_embeddings[currents],
+            features.relation_embeddings[relations],
+            history,
+            source_text,
+            source_image,
+            current_text,
+            current_image,
+        )
+        projected = self.agent.policy.project_batch(fused)
+        return [
+            _softmax(matrix @ projected[i])
+            for i, (_, _, _, matrix) in enumerate(entries)
+        ]
+
+    def _score_via_agent(
+        self,
+        entries: List[Tuple[int, _Branch, List[Tuple[int, int]], np.ndarray]],
+        queries: Sequence[Query],
+    ) -> List[np.ndarray]:
+        probabilities = []
+        with no_grad():
+            for qi, branch, actions, _ in entries:
+                query = queries[qi]
+                self.agent._query = query
+                self.agent.restore((branch.hidden, branch.cell))
+                state = self._state_for(query, branch)
+                probabilities.append(self.agent.action_probabilities(state, actions))
+        return probabilities
+
+    # -------------------------------------------------------------------- run
+    def run(self, queries: Sequence[Query]) -> List[BeamSearchResult]:
+        """Beam-search every query in lockstep; one result per query."""
+        queries = list(queries)
+        if not queries:
+            return []
+        beams = self._initial_branches(queries)
+        max_steps = self.environment.max_steps
+
+        for _ in range(max_steps):
+            entries: List[Tuple[int, _Branch, List[Tuple[int, int]], np.ndarray]] = []
+            for qi, branches in enumerate(beams):
+                for branch in branches:
+                    if branch.step >= max_steps or branch.dead:
+                        continue
+                    state = self._state_for(queries[qi], branch)
+                    actions = self.cache.actions(state)
+                    if not actions:
+                        branch.dead = True
+                        continue
+                    matrix = self.cache.action_matrix(state, actions)
+                    entries.append((qi, branch, actions, matrix))
+            if not entries:
+                break
+
+            probabilities = self._score_branches(entries, queries)
+
+            # Per-query candidate pools, mirroring the sequential beam_search:
+            # expand the locally best actions, then keep the globally best
+            # `beam_width` expansions next to already-finished branches.
+            candidates: Dict[int, List[Tuple[_Branch, Tuple[int, int], float]]] = {
+                qi: [] for qi in range(len(queries))
+            }
+            for (qi, branch, actions, _), probs in zip(entries, probabilities):
+                top = np.argsort(probs)[::-1][: self.beam_width]
+                for index in top:
+                    candidates[qi].append(
+                        (
+                            branch,
+                            actions[index],
+                            branch.log_prob + float(np.log(probs[index] + _LOG_EPS)),
+                        )
+                    )
+
+            expansions: List[Tuple[int, _Branch, Tuple[int, int], float]] = []
+            survivors: List[List[_Branch]] = []
+            for qi, branches in enumerate(beams):
+                finished = [
+                    b for b in branches if b.step >= max_steps or b.dead
+                ]
+                pool = sorted(candidates[qi], key=lambda item: item[2], reverse=True)
+                kept = pool[: self.beam_width]
+                for parent, action, log_prob in kept:
+                    expansions.append((qi, parent, action, log_prob))
+                survivors.append(finished)
+
+            if expansions:
+                features = self.agent.features
+                rel_ids = np.fromiter(
+                    (action[0] for _, _, action, _ in expansions),
+                    dtype=np.intp,
+                    count=len(expansions),
+                )
+                ent_ids = np.fromiter(
+                    (action[1] for _, _, action, _ in expansions),
+                    dtype=np.intp,
+                    count=len(expansions),
+                )
+                inputs = np.concatenate(
+                    [
+                        features.relation_embeddings[rel_ids],
+                        features.entity_embeddings[ent_ids],
+                    ],
+                    axis=1,
+                )
+                hidden = np.concatenate(
+                    [parent.hidden for _, parent, _, _ in expansions], axis=0
+                )
+                cell = np.concatenate(
+                    [parent.cell for _, parent, _, _ in expansions], axis=0
+                )
+                hidden, cell = self._lstm.step(inputs, hidden, cell)
+                for i, (qi, parent, action, log_prob) in enumerate(expansions):
+                    survivors[qi].append(
+                        _Branch(
+                            entity=action[1],
+                            step=parent.step + 1,
+                            log_prob=log_prob,
+                            path=parent.path + (action,),
+                            hidden=hidden[i : i + 1],
+                            cell=cell[i : i + 1],
+                        )
+                    )
+
+            beams = [
+                sorted(branches, key=lambda b: b.log_prob, reverse=True)[
+                    : self.beam_width
+                ]
+                for branches in survivors
+            ]
+
+        no_op_ids = self.environment.no_op_relation_ids
+        results = []
+        for qi, branches in enumerate(beams):
+            entity_log_probs: Dict[int, float] = {}
+            entity_hops: Dict[int, int] = {}
+            paths: Dict[int, List[Tuple[int, int]]] = {}
+            for branch in branches:
+                entity = branch.entity
+                if (
+                    entity not in entity_log_probs
+                    or branch.log_prob > entity_log_probs[entity]
+                ):
+                    entity_log_probs[entity] = branch.log_prob
+                    entity_hops[entity] = sum(
+                        1 for relation, _ in branch.path if relation not in no_op_ids
+                    )
+                    paths[entity] = list(branch.path)
+            results.append(
+                BeamSearchResult(
+                    query=queries[qi],
+                    entity_log_probs=entity_log_probs,
+                    entity_hops=entity_hops,
+                    paths=paths,
+                    num_entities=self.environment.graph.num_entities,
+                )
+            )
+        return results

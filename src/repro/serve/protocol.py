@@ -1,0 +1,154 @@
+"""The serving contract: queries in, ranked predictions out.
+
+A *query* is a partial triple ``(head, relation, ?)``; a reasoner answers it
+with a ranked list of :class:`Prediction` objects.  The contract is the same
+whether the model walks the graph (MMKGR, the RL baselines) or scores every
+tail in closed form (the embedding baselines, NeuralLP), which is what lets
+the experiment runner, the CLI, and downstream serving code treat all of
+them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.kg.graph import KnowledgeGraph
+
+EntityLike = Union[int, str]
+RelationLike = Union[int, str]
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """A link-prediction query ``(head, relation, ?)`` with resolved ids."""
+
+    head: int
+    relation: int
+
+    def as_tuple(self) -> Tuple[int, int]:
+        return (self.head, self.relation)
+
+
+def resolve_query(
+    graph: KnowledgeGraph, head: EntityLike, relation: RelationLike
+) -> QuerySpec:
+    """Resolve entity/relation names (or pass ids through) against ``graph``."""
+    head_id = graph.entity_id(head) if isinstance(head, str) else int(head)
+    relation_id = (
+        graph.relation_id(relation) if isinstance(relation, str) else int(relation)
+    )
+    if not 0 <= head_id < graph.num_entities:
+        raise IndexError(f"head entity id {head_id} out of range")
+    if not 0 <= relation_id < graph.num_relations:
+        raise IndexError(f"relation id {relation_id} out of range")
+    return QuerySpec(head_id, relation_id)
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One ranked answer to a ``(head, relation, ?)`` query.
+
+    ``score`` is comparable only within one ranking (log-probability mass for
+    path-based reasoners, a model-specific plausibility score for single-hop
+    models).  ``path`` carries the ``(relation, entity)`` steps of the best
+    reasoning path when the reasoner is path-based; single-hop models leave
+    it empty.
+    """
+
+    entity: int
+    entity_name: str
+    score: float
+    path: Tuple[Tuple[int, int], ...] = ()
+    path_names: Tuple[str, ...] = field(default=(), compare=False)
+
+    @property
+    def hops(self) -> int:
+        return len(self.path)
+
+    def render_path(self) -> str:
+        """Human-readable rendering, e.g. ``works_for -> acme -> located_in -> berlin``."""
+        if not self.path_names:
+            return self.entity_name
+        return " -> ".join(self.path_names)
+
+    def to_dict(self) -> dict:
+        return {
+            "entity": self.entity,
+            "entity_name": self.entity_name,
+            "score": self.score,
+            "path": list(self.path),
+            "path_rendered": self.render_path(),
+        }
+
+
+@runtime_checkable
+class ReasonerProtocol(Protocol):
+    """What every queryable reasoner exposes.
+
+    ``fit`` trains the model and returns ``self`` so call-sites can chain
+    ``Reasoner(...).fit(dataset).query(...)``; ``save`` persists everything
+    needed to answer queries on a fresh process (restored via
+    :func:`~repro.serve.reasoner.load_reasoner`).
+    """
+
+    name: str
+
+    def fit(self, dataset) -> "ReasonerProtocol":
+        ...
+
+    def query(
+        self, head: EntityLike, relation: RelationLike, k: int = 10
+    ) -> List[Prediction]:
+        ...
+
+    def query_batch(
+        self, queries: Sequence[Tuple[EntityLike, RelationLike]], k: int = 10
+    ) -> List[List[Prediction]]:
+        ...
+
+    def save(self, path: PathLike) -> Path:
+        ...
+
+    def entity_metrics(
+        self, test_triples, filter_graph=None, config=None, rng=None
+    ) -> dict:
+        ...
+
+
+def predictions_from_scores(
+    graph: KnowledgeGraph,
+    scores,
+    k: int,
+    exclude: Optional[Sequence[int]] = None,
+) -> List[Prediction]:
+    """Top-``k`` predictions from a dense per-entity score vector."""
+    import numpy as np
+
+    scores = np.asarray(scores, dtype=np.float64)
+    if exclude:
+        scores = scores.copy()
+        for entity in exclude:
+            scores[entity] = -np.inf
+    k = min(k, scores.shape[0])
+    top = np.argpartition(-scores, k - 1)[:k]
+    top = top[np.argsort(-scores[top])]
+    return [
+        Prediction(
+            entity=int(entity),
+            entity_name=graph.entities.symbol(int(entity)),
+            score=float(scores[entity]),
+        )
+        for entity in top
+        if np.isfinite(scores[entity])
+    ]

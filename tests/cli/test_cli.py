@@ -164,3 +164,76 @@ class TestBaselinesCommand:
         assert exit_code == 0
         assert "MTRL" in captured and "TransAE" in captured
         assert csv_path.exists()
+
+
+class TestQueryCommands:
+    def test_query_from_bare_checkpoint(self, trained_checkpoint, capsys):
+        exit_code = main(
+            ["query", "--checkpoint", trained_checkpoint, "--head", "0", "--relation", "1", "-k", "3"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "reasoning path" in captured
+
+    def test_query_json_output(self, trained_checkpoint, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--checkpoint", trained_checkpoint,
+                "--head", "0",
+                "--relation", "1",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(captured)
+        assert isinstance(payload, list)
+        if payload:
+            assert {"entity", "entity_name", "score"} <= set(payload[0])
+
+    def test_serve_batch_from_tsv(self, trained_checkpoint, tmp_path, capsys):
+        queries = tmp_path / "queries.tsv"
+        queries.write_text("0\t1\n2\t1\n", encoding="utf-8")
+        output = tmp_path / "answers.json"
+        exit_code = main(
+            [
+                "serve-batch",
+                "--checkpoint", trained_checkpoint,
+                "--queries", str(queries),
+                "-k", "3",
+                "--output", str(output),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "answered 2 queries" in captured
+        payload = json.loads(output.read_text())
+        assert len(payload) == 2
+        assert payload[0]["head"] == "0"
+
+    def test_serve_batch_rejects_malformed_tsv(self, trained_checkpoint, tmp_path):
+        queries = tmp_path / "bad.tsv"
+        queries.write_text("only-one-column\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=":1"):
+            main(
+                [
+                    "serve-batch",
+                    "--checkpoint", trained_checkpoint,
+                    "--queries", str(queries),
+                ]
+            )
+
+    def test_query_from_saved_reasoner(self, trained_checkpoint, tmp_path, capsys):
+        from repro.core.checkpoint import load_checkpoint
+        from repro.serve import Reasoner
+
+        saved = tmp_path / "reasoner"
+        reasoner = Reasoner.from_pipeline(load_checkpoint(trained_checkpoint))
+        reasoner.save(saved)
+        exit_code = main(
+            ["query", "--checkpoint", str(saved), "--head", "0", "--relation", "1"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "reasoning path" in captured

@@ -1,0 +1,55 @@
+"""ExperimentRunner reuses trained reasoners across tables instead of retraining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner(request):
+    tiny_preset = request.getfixturevalue("tiny_preset")
+    return ExperimentRunner(dataset_names=("wn9-img-txt",), preset=tiny_preset, seed=1)
+
+
+class TestReasonerCache:
+    def test_reasoner_for_is_cached(self, runner):
+        first = runner.reasoner_for("wn9-img-txt", "MTRL")
+        second = runner.reasoner_for("wn9-img-txt", "MTRL")
+        assert first is second
+
+    def test_tables_share_trained_models(self, runner, monkeypatch):
+        runner.table3_entity_link_prediction(
+            "wn9-img-txt", baselines=("MTRL",), include_mmkgr=True
+        )
+        trained = dict(runner._reasoners)
+
+        # Any further fit would be a regression: Table IV must reuse the
+        # models Table III trained for the same dataset/preset.
+        import repro.core.experiment as experiment_module
+
+        def fail_fit(*args, **kwargs):  # pragma: no cover - regression trap
+            raise AssertionError("table4 retrained a model table3 already trained")
+
+        monkeypatch.setattr(experiment_module, "fit_baseline", fail_fit)
+        monkeypatch.setattr(
+            experiment_module.MMKGRPipeline,
+            "train",
+            lambda self, *a, **k: fail_fit(),
+        )
+        results = runner.table4_relation_map(
+            "wn9-img-txt", baselines=("MTRL",), include_mmkgr=True
+        )
+        assert set(results) == {"MTRL", "MMKGR"}
+        assert dict(runner._reasoners) == trained
+
+    def test_distinct_presets_train_separately(self, runner):
+        from dataclasses import replace
+
+        preset = runner.preset.with_overrides(
+            model=replace(runner.preset.model, max_steps=2)
+        )
+        default = runner.reasoner_for("wn9-img-txt", "MTRL")
+        other = runner.reasoner_for("wn9-img-txt", "MTRL", preset=preset)
+        assert default is not other

@@ -1,0 +1,83 @@
+"""Tests for the serving protocol primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    Prediction,
+    QuerySpec,
+    ReasonerProtocol,
+    predictions_from_scores,
+    resolve_query,
+)
+from repro.serve.reasoner import EmbeddingReasoner, Reasoner
+
+
+class TestResolveQuery:
+    def test_names_resolve_to_ids(self, tiny_graph):
+        spec = resolve_query(tiny_graph, "alice", "works_for")
+        assert spec == QuerySpec(
+            tiny_graph.entity_id("alice"), tiny_graph.relation_id("works_for")
+        )
+
+    def test_ids_pass_through(self, tiny_graph):
+        assert resolve_query(tiny_graph, 0, 1) == QuerySpec(0, 1)
+
+    def test_out_of_range_entity_rejected(self, tiny_graph):
+        with pytest.raises(IndexError):
+            resolve_query(tiny_graph, 10_000, 0)
+
+    def test_unknown_name_rejected(self, tiny_graph):
+        with pytest.raises(KeyError):
+            resolve_query(tiny_graph, "nobody", "works_for")
+
+
+class TestPrediction:
+    def test_render_path(self):
+        prediction = Prediction(
+            entity=3,
+            entity_name="berlin",
+            score=-0.5,
+            path=((0, 1), (2, 3)),
+            path_names=("works_for", "acme", "located_in", "berlin"),
+        )
+        assert prediction.hops == 2
+        assert prediction.render_path() == "works_for -> acme -> located_in -> berlin"
+
+    def test_pathless_prediction_renders_entity(self):
+        prediction = Prediction(entity=3, entity_name="berlin", score=1.0)
+        assert prediction.hops == 0
+        assert prediction.render_path() == "berlin"
+
+    def test_to_dict_round_trips_ids(self):
+        prediction = Prediction(entity=3, entity_name="berlin", score=1.0, path=((0, 3),))
+        payload = prediction.to_dict()
+        assert payload["entity"] == 3 and payload["path"] == [(0, 3)]
+
+
+class TestPredictionsFromScores:
+    def test_top_k_sorted_descending(self, tiny_graph):
+        scores = np.zeros(tiny_graph.num_entities)
+        scores[2] = 3.0
+        scores[5] = 7.0
+        predictions = predictions_from_scores(tiny_graph, scores, k=2)
+        assert [p.entity for p in predictions] == [5, 2]
+        assert predictions[0].entity_name == tiny_graph.entities.symbol(5)
+
+    def test_excluded_entities_are_dropped(self, tiny_graph):
+        scores = np.arange(float(tiny_graph.num_entities))
+        top = predictions_from_scores(
+            tiny_graph, scores, k=2, exclude=[tiny_graph.num_entities - 1]
+        )
+        assert [p.entity for p in top] == [
+            tiny_graph.num_entities - 2,
+            tiny_graph.num_entities - 3,
+        ]
+
+
+class TestProtocolConformance:
+    def test_reasoner_classes_satisfy_protocol(self):
+        assert isinstance(Reasoner(), ReasonerProtocol)
+        assert isinstance(EmbeddingReasoner(), ReasonerProtocol)
