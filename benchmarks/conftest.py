@@ -1,13 +1,29 @@
-"""Make the benchmark helpers importable and print a scale banner."""
+"""Make the benchmark helpers importable, mark them, and print a scale banner."""
 
 from __future__ import annotations
 
 import sys
 from pathlib import Path
 
-sys.path.insert(0, str(Path(__file__).parent))
+import pytest
+
+_BENCH_DIR = Path(__file__).parent
+sys.path.insert(0, str(_BENCH_DIR))
 
 from common import BENCH_SCALE  # noqa: E402
+
+
+def pytest_collection_modifyitems(config, items):
+    """Tag everything under benchmarks/ with the registered markers.
+
+    Marker-driven selection (``-m benchmark``, ``-m "not slow"``) then works
+    from any invocation directory, instead of callers having to know the
+    harness's path.
+    """
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.benchmark)
+            item.add_marker(pytest.mark.slow)
 
 
 def pytest_report_header(config):

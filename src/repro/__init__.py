@@ -62,20 +62,26 @@ from repro.kg.datasets import (
 from repro.kg.graph import KnowledgeGraph, Triple
 from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
 from repro.serve import (
+    DynamicBatcher,
     EmbeddingReasoner,
     Prediction,
     Reasoner,
     ReasonerProtocol,
+    ReasoningServer,
+    ServerStats,
     load_reasoner,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Reasoner",
     "ReasonerProtocol",
     "Prediction",
     "EmbeddingReasoner",
+    "DynamicBatcher",
+    "ReasoningServer",
+    "ServerStats",
     "load_reasoner",
     "save_checkpoint",
     "load_checkpoint",

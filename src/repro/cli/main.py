@@ -21,6 +21,7 @@ from repro.fewshot.evaluation import evaluate_fewshot
 from repro.kg.datasets import DATASET_REGISTRY, build_named_dataset
 from repro.kg.io import write_triples_tsv
 from repro.kg.statistics import describe_dataset, relation_cardinality
+from repro.serve import ReasoningServer
 from repro.utils.tables import format_table
 
 PRESETS = {"fast": fast_preset, "paper": paper_preset}
@@ -174,11 +175,43 @@ def _id_or_name(value) -> object:
     return int(text) if text.lstrip("-").isdigit() else text
 
 
+# Malformed inputs (bad query files, unknown entities/relations, missing
+# checkpoints) exit with this code and a one-line stderr message instead of
+# an unhandled traceback.
+EXIT_BAD_INPUT = 2
+
+# What query resolution and query-file parsing legitimately raise on bad
+# user input; anything else is a real bug and should keep its traceback.
+_INPUT_ERRORS = (OSError, ValueError, KeyError, IndexError, TypeError)
+
+
+def _input_error(error: Exception) -> int:
+    if isinstance(error, OSError):
+        message = error  # str(OSError) carries errno text and the file name
+    else:
+        # args[0] rather than str(): KeyError's str() wraps the message in
+        # an extra layer of quotes.
+        message = error.args[0] if error.args else error
+    print(f"error: {message}", file=sys.stderr)
+    return EXIT_BAD_INPUT
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    reasoner = _load_serving_reasoner(args.checkpoint)
-    predictions = reasoner.query(
-        _id_or_name(args.head), _id_or_name(args.relation), k=args.k
-    )
+    from repro.serve.protocol import resolve_query
+
+    # Input validation (checkpoint, entity/relation names, k) gets the
+    # one-line error + exit 2 treatment; the engine call runs outside the
+    # except so a genuine engine bug keeps its traceback.
+    try:
+        reasoner = _load_serving_reasoner(args.checkpoint)
+        if args.k < 1:
+            raise ValueError("k must be >= 1")
+        spec = resolve_query(
+            reasoner.graph, _id_or_name(args.head), _id_or_name(args.relation)
+        )
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    predictions = reasoner.query(spec.head, spec.relation, k=args.k)
     if args.json:
         print(json.dumps([p.to_dict() for p in predictions], indent=2))
     else:
@@ -190,8 +223,20 @@ def _read_query_file(path: str):
     """Queries from a file: JSON list of [head, relation] or TSV head<TAB>relation."""
     text = Path(path).read_text(encoding="utf-8")
     if path.endswith(".json"):
-        payload = json.loads(text)
-        return [(_id_or_name(item[0]), _id_or_name(item[1])) for item in payload]
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON: {error}")
+        if not isinstance(payload, list):
+            raise ValueError(f"{path}: expected a JSON list of [head, relation] pairs")
+        queries = []
+        for number, item in enumerate(payload):
+            if not isinstance(item, (list, tuple)) or len(item) != 2:
+                raise ValueError(
+                    f"{path}: item {number} is not a [head, relation] pair: {item!r}"
+                )
+            queries.append((_id_or_name(item[0]), _id_or_name(item[1])))
+        return queries
     queries = []
     for number, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
@@ -205,9 +250,18 @@ def _read_query_file(path: str):
 
 
 def cmd_serve_batch(args: argparse.Namespace) -> int:
-    reasoner = _load_serving_reasoner(args.checkpoint)
-    queries = _read_query_file(args.queries)
-    results = reasoner.query_batch(queries, k=args.k)
+    from repro.serve.protocol import resolve_query
+
+    try:
+        reasoner = _load_serving_reasoner(args.checkpoint)
+        queries = _read_query_file(args.queries)
+        if args.k < 1:
+            raise ValueError("k must be >= 1")
+        graph = reasoner.graph
+        specs = [resolve_query(graph, head, relation) for head, relation in queries]
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    results = reasoner.query_batch([spec.as_tuple() for spec in specs], k=args.k)
     if args.output:
         payload = [
             {
@@ -223,6 +277,37 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
         for (head, relation), predictions in zip(queries, results):
             _print_predictions(str(head), str(relation), predictions)
             print()
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        reasoner = _load_serving_reasoner(args.checkpoint)
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    server = ReasoningServer(
+        reasoner,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers,
+        default_k=args.k,
+    )
+    with server:
+        if args.stdio:
+            failures = server.serve_stdio(sys.stdin, sys.stdout)
+            return 1 if failures else 0
+        print(
+            f"serving {getattr(reasoner, 'name', 'reasoner')} on "
+            f"http://{args.host}:{args.port} "
+            f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms}, "
+            f"workers={args.workers}); POST /query, GET /stats"
+        )
+        try:
+            server.serve_http(args.host, args.port)
+        except KeyboardInterrupt:
+            print("shutting down")
+        except OSError as error:  # bind failures: port busy, privileged, bad host
+            return _input_error(error)
     return 0
 
 
@@ -330,6 +415,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None, help="write results to this JSON file"
     )
     serve_batch.set_defaults(handler=cmd_serve_batch)
+
+    # serve -----------------------------------------------------------------
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the serving daemon: micro-batched HTTP/JSON or JSON-lines stdio",
+    )
+    serve.add_argument("--checkpoint", required=True, help="saved reasoner or checkpoint directory")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8977, help="listen port (default 8977)")
+    serve.add_argument(
+        "--max-batch-size", type=int, default=16,
+        help="flush a micro-batch at this many queued requests (default 16)",
+    )
+    serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="flush a partial batch once its oldest request is this old (default 5)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads, one reasoner replica each (default 1)",
+    )
+    serve.add_argument("-k", type=int, default=10, help="default answers per query (default 10)")
+    serve.add_argument(
+        "--stdio", action="store_true",
+        help="serve JSON-lines on stdin/stdout instead of HTTP",
+    )
+    serve.set_defaults(handler=cmd_serve)
 
     # explain ---------------------------------------------------------------
     explain = subparsers.add_parser("explain", help="explain test predictions of a checkpoint")

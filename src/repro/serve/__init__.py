@@ -16,8 +16,18 @@ introduces the query/serving API the reproduction's north star needs:
 ``query_batch`` answers many queries with one lockstep beam search whose
 policy/LSTM forward passes are batched across every branch of every query,
 which is why it beats a sequential ``query`` loop on serving traffic.
+
+On top of the reasoners sits the serving daemon:
+
+* :class:`DynamicBatcher` — coalesces concurrent single queries into
+  micro-batches under a ``max_batch_size`` / ``max_wait_ms`` flush policy,
+  with per-request futures and error isolation;
+* :class:`ReasoningServer` — a worker pool of reasoner replicas behind the
+  batcher, with stdlib HTTP/JSON and JSON-lines stdio front ends and a
+  :class:`ServerStats` counter block (``GET /stats``).
 """
 
+from repro.serve.batcher import BatcherClosed, BatchRequest, DynamicBatcher, execute_batch
 from repro.serve.cache import ActionSpaceCache, LRUCache
 from repro.serve.engine import BatchBeamSearch
 from repro.serve.protocol import Prediction, QuerySpec, ReasonerProtocol
@@ -27,16 +37,24 @@ from repro.serve.reasoner import (
     RuleReasonerAdapter,
     load_reasoner,
 )
+from repro.serve.server import QueryRequest, ReasoningServer, ServerStats
 
 __all__ = [
     "ActionSpaceCache",
     "BatchBeamSearch",
+    "BatcherClosed",
+    "BatchRequest",
+    "DynamicBatcher",
     "EmbeddingReasoner",
     "LRUCache",
     "Prediction",
+    "QueryRequest",
     "QuerySpec",
     "Reasoner",
     "ReasonerProtocol",
+    "ReasoningServer",
     "RuleReasonerAdapter",
+    "ServerStats",
+    "execute_batch",
     "load_reasoner",
 ]

@@ -23,6 +23,8 @@ servable — the batch engine is an optimisation, not a new contract.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -38,6 +40,21 @@ from repro.rl.rollout import BeamSearchResult
 from repro.serve.cache import ActionSpaceCache
 
 _LOG_EPS = 1e-12
+
+# The slow-path scorer mutates transient agent state (current query, LSTM
+# snapshot); engines on different serving workers can share one agent, so
+# each agent gets exactly one lock, held only around slow-path scoring.
+_AGENT_LOCKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_AGENT_LOCKS_GUARD = threading.Lock()
+
+
+def _lock_for(agent) -> threading.Lock:
+    with _AGENT_LOCKS_GUARD:
+        lock = _AGENT_LOCKS.get(agent)
+        if lock is None:
+            lock = threading.Lock()
+            _AGENT_LOCKS[agent] = lock
+        return lock
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -359,7 +376,7 @@ class BatchBeamSearch:
         queries: Sequence[Query],
     ) -> List[np.ndarray]:
         probabilities = []
-        with no_grad():
+        with _lock_for(self.agent), no_grad():
             for qi, branch, actions, _ in entries:
                 query = queries[qi]
                 self.agent._query = query

@@ -184,6 +184,31 @@ class Reasoner:
             )
         return self._engine
 
+    def replicate(self) -> "Reasoner":
+        """A cheap serving replica: shared pipeline and caches, private engine.
+
+        The serving daemon gives each worker thread its own replica so the
+        beam-search engines never contend, while the trained pipeline and the
+        (thread-safe) LRU action-space caches stay shared — one worker's
+        cache warm-up benefits every other.
+        """
+        pipeline = self._require_fitted()
+        engine = self.engine  # force-build the shared cache before copying it
+        replica = Reasoner.from_pipeline(
+            pipeline,
+            name=self.name,
+            beam_width=self.beam_width,
+            cache_size=self.cache_size,
+        )
+        replica._cache = self._cache
+        replica._engine = BatchBeamSearch(
+            pipeline.agent,
+            pipeline.environment,
+            cache=self._cache,
+            beam_width=engine.beam_width,
+        )
+        return replica
+
     def query(
         self, head: EntityLike, relation: RelationLike, k: int = 10
     ) -> List[Prediction]:

@@ -7,6 +7,7 @@ file so every invocation stays fast.
 
 from __future__ import annotations
 
+import io
 import json
 
 import pytest
@@ -56,6 +57,15 @@ class TestParser:
         assert args.dataset == "wn9-img-txt"
         assert args.ablation == "MMKGR"
         assert args.preset == "fast"
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--checkpoint", "ckpt"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8977
+        assert args.max_batch_size == 16
+        assert args.max_wait_ms == 5.0
+        assert args.workers == 1
+        assert not args.stdio
 
 
 class TestDatasetCommands:
@@ -212,17 +222,92 @@ class TestQueryCommands:
         assert len(payload) == 2
         assert payload[0]["head"] == "0"
 
-    def test_serve_batch_rejects_malformed_tsv(self, trained_checkpoint, tmp_path):
+    def test_serve_batch_rejects_malformed_tsv(self, trained_checkpoint, tmp_path, capsys):
         queries = tmp_path / "bad.tsv"
         queries.write_text("only-one-column\n", encoding="utf-8")
-        with pytest.raises(ValueError, match=":1"):
-            main(
-                [
-                    "serve-batch",
-                    "--checkpoint", trained_checkpoint,
-                    "--queries", str(queries),
-                ]
+        exit_code = main(
+            ["serve-batch", "--checkpoint", trained_checkpoint, "--queries", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err and ":1" in captured.err
+
+    def test_serve_batch_rejects_malformed_json(self, trained_checkpoint, tmp_path, capsys):
+        queries = tmp_path / "bad.json"
+        queries.write_text('{"not": "a list of pairs"}', encoding="utf-8")
+        exit_code = main(
+            ["serve-batch", "--checkpoint", trained_checkpoint, "--queries", str(queries)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_serve_batch_missing_query_file(self, trained_checkpoint, tmp_path, capsys):
+        exit_code = main(
+            [
+                "serve-batch",
+                "--checkpoint", trained_checkpoint,
+                "--queries", str(tmp_path / "does-not-exist.tsv"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_query_unknown_entity_exits_nonzero(self, trained_checkpoint, capsys):
+        exit_code = main(
+            [
+                "query",
+                "--checkpoint", trained_checkpoint,
+                "--head", "no-such-entity",
+                "--relation", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "no-such-entity" in captured.err
+
+    def test_serve_stdio_mode(self, trained_checkpoint, capsys, monkeypatch):
+        lines = [
+            json.dumps({"head": 0, "relation": 1, "k": 3}),
+            json.dumps({"head": 2, "relation": 1}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        exit_code = main(
+            ["serve", "--checkpoint", trained_checkpoint, "--stdio", "--max-wait-ms", "5"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        records = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(records) == 2
+        assert all("predictions" in record for record in records)
+
+    def test_serve_rejects_busy_port(self, trained_checkpoint, capsys):
+        import socket
+
+        blocker = socket.socket()
+        try:
+            blocker.bind(("127.0.0.1", 0))
+            blocker.listen(1)
+            port = blocker.getsockname()[1]
+            exit_code = main(
+                ["serve", "--checkpoint", trained_checkpoint, "--port", str(port)]
             )
+        finally:
+            blocker.close()
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_serve_stdio_reports_failures(self, trained_checkpoint, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(json.dumps({"head": "no-such-entity", "relation": 1}) + "\n"),
+        )
+        exit_code = main(["serve", "--checkpoint", trained_checkpoint, "--stdio"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.out
 
     def test_query_from_saved_reasoner(self, trained_checkpoint, tmp_path, capsys):
         from repro.core.checkpoint import load_checkpoint

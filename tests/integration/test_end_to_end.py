@@ -9,7 +9,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (
+# Full training pipelines: minutes, not seconds — tier-1 only, not the fast gate.
+pytestmark = pytest.mark.slow
+
+from repro import (  # noqa: E402
     AblationName,
     ExperimentRunner,
     MMKGRPipeline,

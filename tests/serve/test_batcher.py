@@ -1,0 +1,166 @@
+"""DynamicBatcher unit tests: flush policy, fallback, and error isolation.
+
+These run against the batcher alone (payloads are plain ints/strings, the
+"model" is a lambda), so they pin the coalescing semantics without training
+anything.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import BatcherClosed, DynamicBatcher
+from repro.serve.batcher import execute_batch
+
+
+class TestFlushPolicy:
+    def test_burst_coalesces_into_full_batches(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=50)
+        futures = [batcher.submit(i) for i in range(10)]
+        sizes = [len(batcher.next_batch()) for _ in range(3)]
+        assert sizes == [4, 4, 2]
+        assert batcher.depth == 0
+        assert all(not f.done() for f in futures)  # workers resolve futures, not the queue
+
+    def test_max_wait_flushes_partial_batch(self):
+        batcher = DynamicBatcher(max_batch_size=16, max_wait_ms=20)
+        batcher.submit("only")
+        start = time.monotonic()
+        batch = batcher.next_batch()
+        elapsed = time.monotonic() - start
+        assert [r.payload for r in batch] == ["only"]
+        assert elapsed < 5.0, "a partial batch must flush at max_wait_ms, not hang"
+
+    def test_single_request_fallback_skips_the_wait(self):
+        # max_batch_size=1 is per-request dispatch: no coalescing delay at all.
+        batcher = DynamicBatcher(max_batch_size=1, max_wait_ms=10_000)
+        batcher.submit("now")
+        start = time.monotonic()
+        batch = batcher.next_batch()
+        elapsed = time.monotonic() - start
+        assert [r.payload for r in batch] == ["now"]
+        assert elapsed < 1.0
+
+    def test_late_arrivals_join_an_open_batch(self):
+        batcher = DynamicBatcher(max_batch_size=2, max_wait_ms=10_000)
+        collected = []
+
+        def consume():
+            collected.append(batcher.next_batch())
+
+        worker = threading.Thread(target=consume)
+        batcher.submit("first")
+        worker.start()
+        # The worker is now holding the batch open for a second request.
+        batcher.submit("second")
+        worker.join(timeout=5)
+        assert not worker.is_alive()
+        assert [r.payload for r in collected[0]] == ["first", "second"]
+
+    def test_next_batch_timeout_on_idle_queue(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=5)
+        assert batcher.next_batch(timeout=0.05) is None
+
+    def test_concurrent_workers_never_receive_empty_batches(self):
+        # Two workers racing over one request: whoever loses the pop must go
+        # back to waiting (and see the close), never return an empty batch.
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=20)
+        results = []
+
+        def worker():
+            results.append(batcher.next_batch())
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        batcher.submit("one")
+        time.sleep(0.1)
+        batcher.close()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert [] not in results, "a worker must never receive an empty batch"
+        assert None in results, "the losing worker sees the close"
+        winners = [batch for batch in results if batch]
+        assert len(winners) == 1
+        assert [r.payload for r in winners[0]] == ["one"]
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self):
+        batcher = DynamicBatcher()
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit("late")
+
+    def test_close_drains_queued_requests_then_returns_none(self):
+        batcher = DynamicBatcher(max_batch_size=8, max_wait_ms=10_000)
+        batcher.submit("queued")
+        batcher.close()
+        assert [r.payload for r in batcher.next_batch()] == ["queued"]
+        assert batcher.next_batch() is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_batch_size=0)
+        with pytest.raises(ValueError):
+            DynamicBatcher(max_wait_ms=-1)
+
+
+class TestErrorIsolation:
+    def _drain(self, batcher):
+        return batcher.next_batch()
+
+    def test_batch_success_resolves_every_future(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=5)
+        futures = [batcher.submit(i) for i in range(4)]
+        execute_batch(
+            self._drain(batcher),
+            lambda payloads: [p * 10 for p in payloads],
+            lambda payload: payload * 10,
+        )
+        assert [f.result(timeout=1) for f in futures] == [0, 10, 20, 30]
+
+    def test_one_bad_request_never_fails_its_batchmates(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=5)
+        futures = {i: batcher.submit(i) for i in (1, 2, 3)}
+
+        def answer(payload):
+            if payload == 2:
+                raise KeyError("unknown entity")
+            return payload * 10
+
+        execute_batch(
+            self._drain(batcher),
+            lambda payloads: [answer(p) for p in payloads],  # poisons the batch
+            answer,
+        )
+        assert futures[1].result(timeout=1) == 10
+        assert futures[3].result(timeout=1) == 30
+        with pytest.raises(KeyError, match="unknown entity"):
+            futures[2].result(timeout=1)
+
+    def test_wrong_result_count_triggers_per_request_fallback(self):
+        batcher = DynamicBatcher(max_batch_size=3, max_wait_ms=5)
+        futures = [batcher.submit(i) for i in range(3)]
+        execute_batch(
+            self._drain(batcher),
+            lambda payloads: payloads[:-1],  # silently dropped a result
+            lambda payload: payload,
+        )
+        assert [f.result(timeout=1) for f in futures] == [0, 1, 2]
+
+    def test_cancelled_requests_are_skipped(self):
+        batcher = DynamicBatcher(max_batch_size=2, max_wait_ms=5)
+        keep = batcher.submit("keep")
+        dropped = batcher.submit("dropped")
+        assert dropped.cancel()
+        execute_batch(
+            self._drain(batcher),
+            lambda payloads: [p.upper() for p in payloads],
+            lambda payload: payload.upper(),
+        )
+        assert keep.result(timeout=1) == "KEEP"
+        assert dropped.cancelled()

@@ -1,0 +1,207 @@
+"""ReasoningServer tests: coalescing, error isolation, stats, both front ends.
+
+One tiny MMKGR reasoner is trained per module; every test drives it through
+the serving daemon and cross-checks against direct ``query``/``query_batch``
+calls, which the serving layer must reproduce exactly (same engine, same
+caches).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import Reasoner, ReasoningServer, ServerStats
+
+
+@pytest.fixture(scope="module")
+def fitted_reasoner(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    tiny_preset = request.getfixturevalue("tiny_preset")
+    return Reasoner(preset=tiny_preset, rng=0).fit(tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def test_queries(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    return [(t.head, t.relation) for t in tiny_dataset.splits.test[:8]]
+
+
+def _ranking(predictions):
+    return [(p.entity, round(p.score, 10)) for p in predictions]
+
+
+class TestSubmit:
+    def test_served_results_match_direct_queries(self, fitted_reasoner, test_queries):
+        direct = fitted_reasoner.query_batch(test_queries, k=5)
+        with ReasoningServer(fitted_reasoner, max_batch_size=8, max_wait_ms=20) as server:
+            futures = [server.submit(h, r, k=5) for h, r in test_queries]
+            served = [f.result(timeout=30) for f in futures]
+        for direct_one, served_one in zip(direct, served):
+            assert _ranking(direct_one) == _ranking(served_one)
+
+    def test_burst_traffic_forms_micro_batches(self, fitted_reasoner, test_queries):
+        with ReasoningServer(fitted_reasoner, max_batch_size=8, max_wait_ms=100) as server:
+            futures = [server.submit(h, r, k=3) for h, r in test_queries * 2]
+            for future in futures:
+                future.result(timeout=30)
+            stats = server.stats_dict()
+        assert stats["requests_total"] == len(test_queries) * 2
+        assert stats["batches_total"] < stats["requests_total"], (
+            "a burst of concurrent queries must coalesce into micro-batches"
+        )
+        assert max(int(size) for size in stats["batch_size_histogram"]) > 1
+
+    def test_error_isolation_across_batchmates(self, fitted_reasoner, test_queries):
+        head, relation = test_queries[0]
+        with ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=50) as server:
+            good = server.submit(head, relation, k=3)
+            bad = server.submit("no-such-entity", relation, k=3)
+            also_good = server.submit(head, relation, k=3)
+            assert good.result(timeout=30)
+            assert also_good.result(timeout=30)
+            with pytest.raises(KeyError, match="no-such-entity"):
+                bad.result(timeout=30)
+        assert server.stats.errors_total == 1
+
+    def test_mixed_k_requests_are_grouped(self, fitted_reasoner, test_queries):
+        head, relation = test_queries[0]
+        with ReasoningServer(fitted_reasoner, max_batch_size=8, max_wait_ms=50) as server:
+            three = server.submit(head, relation, k=3).result(timeout=30)
+            five = server.submit(head, relation, k=5).result(timeout=30)
+        assert len(three) <= 3
+        assert len(five) <= 5
+        assert _ranking(three) == _ranking(five)[: len(three)]
+
+    def test_worker_pool_replicas_share_caches(self, fitted_reasoner, test_queries):
+        with ReasoningServer(
+            fitted_reasoner, max_batch_size=4, max_wait_ms=10, num_workers=3
+        ) as server:
+            futures = [server.submit(h, r, k=3) for h, r in test_queries * 4]
+            results = [f.result(timeout=30) for f in futures]
+        assert all(results)
+        stats = server.stats_dict()
+        # Replicas share one action-space cache, so repeated traffic hits it.
+        assert stats["cache"]["actions_hits"] > 0
+
+    def test_submit_before_start_raises(self, fitted_reasoner):
+        server = ReasoningServer(fitted_reasoner)
+        with pytest.raises(RuntimeError, match="not running"):
+            server.submit(0, 0)
+
+
+class TestStats:
+    def test_latency_percentiles_and_histogram(self):
+        stats = ServerStats()
+        for latency_ms in range(1, 101):
+            stats.record_request(latency_ms / 1000.0)
+        stats.record_batch(4)
+        stats.record_batch(4)
+        stats.record_batch(2)
+        payload = stats.to_dict(queue_depth=7)
+        assert payload["requests_total"] == 100
+        assert payload["queue_depth"] == 7
+        assert payload["batch_size_histogram"] == {"2": 1, "4": 2}
+        assert payload["mean_batch_size"] == pytest.approx(10 / 3)
+        assert 45 <= payload["latency_p50_ms"] <= 55
+        assert 95 <= payload["latency_p99_ms"] <= 100
+
+    def test_empty_stats_are_all_zero(self):
+        payload = ServerStats().to_dict()
+        assert payload["latency_p50_ms"] == 0.0
+        assert payload["mean_batch_size"] == 0.0
+
+
+class TestHTTPFrontEnd:
+    @pytest.fixture()
+    def http_server(self, fitted_reasoner):
+        server = ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10)
+        httpd = server.http_server("127.0.0.1", 0)  # ephemeral port
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            yield base
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server.close()
+            thread.join(timeout=5)
+
+    def _post(self, url, payload):
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+
+    def test_query_roundtrip(self, http_server, fitted_reasoner, test_queries):
+        head, relation = test_queries[0]
+        status, payload = self._post(
+            f"{http_server}/query", {"head": head, "relation": relation, "k": 3}
+        )
+        assert status == 200
+        direct = fitted_reasoner.query(head, relation, k=3)
+        assert [p["entity"] for p in payload["predictions"]] == [p.entity for p in direct]
+
+    def test_pair_payload_accepted(self, http_server, test_queries):
+        head, relation = test_queries[0]
+        status, payload = self._post(f"{http_server}/query", [head, relation])
+        assert status == 200
+        assert payload["predictions"]
+
+    def test_bad_query_is_a_400_not_a_crash(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http_server}/query", {"head": "nope"})
+        assert excinfo.value.code == 400
+        assert "error" in json.loads(excinfo.value.read())
+
+    def test_unknown_entity_is_a_400(self, http_server, test_queries):
+        _, relation = test_queries[0]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            self._post(f"{http_server}/query", {"head": "no-such-entity", "relation": relation})
+        assert excinfo.value.code == 400
+
+    def test_stats_and_healthz(self, http_server, test_queries):
+        head, relation = test_queries[0]
+        self._post(f"{http_server}/query", {"head": head, "relation": relation})
+        with urllib.request.urlopen(f"{http_server}/stats", timeout=30) as response:
+            stats = json.loads(response.read())
+        assert stats["requests_total"] >= 1
+        assert "latency_p99_ms" in stats and "batch_size_histogram" in stats
+        with urllib.request.urlopen(f"{http_server}/healthz", timeout=30) as response:
+            assert json.loads(response.read()) == {"status": "ok"}
+
+    def test_unknown_path_is_a_404(self, http_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{http_server}/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+
+class TestStdioFrontEnd:
+    def test_json_lines_roundtrip(self, fitted_reasoner, test_queries):
+        (h0, r0), (h1, r1) = test_queries[0], test_queries[1]
+        lines = [
+            json.dumps({"head": h0, "relation": r0, "k": 3}),
+            json.dumps([h1, r1]),
+            "not json at all",
+            json.dumps({"head": "no-such-entity", "relation": r0}),
+        ]
+        output = io.StringIO()
+        with ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10) as server:
+            failures = server.serve_stdio(io.StringIO("\n".join(lines) + "\n"), output)
+        records = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert failures == 2
+        assert len(records) == 4
+        ok = [r for r in records if "predictions" in r]
+        failed = [r for r in records if "error" in r]
+        assert len(ok) == 2 and len(failed) == 2
+        assert ok[0]["head"] == h0 and len(ok[0]["predictions"]) <= 3
