@@ -1,0 +1,391 @@
+"""The serving daemon: a micro-batching front end over the Reasoner API.
+
+:class:`ReasoningServer` owns a :class:`~repro.serve.batcher.DynamicBatcher`
+and a pool of worker threads, each holding its own reasoner replica (same
+trained pipeline, same shared LRU action-space caches, private beam-search
+engine).  Concurrent single queries coalesce into micro-batches that run
+through ``query_batch``'s vectorized lockstep beam search, which is what
+turns the engine's batch speedup into a throughput win under realistic
+traffic.
+
+Two front ends ship with the daemon:
+
+* :meth:`ReasoningServer.serve_http` — a stdlib-only HTTP/JSON endpoint
+  (``POST /query``, ``GET /stats``, ``GET /healthz``);
+* :meth:`ReasoningServer.serve_stdio` — a JSON-lines mode for piping
+  (one query object per input line, one result object per output line).
+
+Both submit into the same batcher, so HTTP traffic and in-process
+:meth:`~ReasoningServer.submit` callers batch together.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import defaultdict, deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Deque, Dict, IO, List, Optional, Sequence
+
+from repro.serve.batcher import BatchRequest, DynamicBatcher, execute_batch
+from repro.serve.protocol import EntityLike, Prediction, RelationLike
+
+__all__ = ["QueryRequest", "ReasoningServer", "ServerStats"]
+
+# Errors a malformed query raises at resolve time; reported to the client as
+# a request failure, never as a server crash.
+QUERY_ERRORS = (KeyError, IndexError, ValueError, TypeError)
+
+_LATENCY_WINDOW = 4096
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One ``(head, relation, ?)`` query with its requested answer count."""
+
+    head: EntityLike
+    relation: RelationLike
+    k: int = 10
+
+
+def _percentile(sample: Sequence[float], fraction: float) -> float:
+    if not sample:
+        return 0.0
+    ordered = sorted(sample)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+@dataclass
+class ServerStats:
+    """Running counters of the serving daemon, exposed via ``GET /stats``.
+
+    Latency percentiles are computed over a sliding window of the most
+    recent :data:`_LATENCY_WINDOW` requests (queueing + execution time).
+    """
+
+    requests_total: int = 0
+    errors_total: int = 0
+    batches_total: int = 0
+    batch_size_histogram: Dict[int, int] = field(default_factory=dict)
+    _latencies: Deque[float] = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    # ---------------------------------------------------------------- recording
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self.batches_total += 1
+            self.batch_size_histogram[size] = self.batch_size_histogram.get(size, 0) + 1
+
+    def record_request(self, latency_s: float, error: bool = False) -> None:
+        with self._lock:
+            self.requests_total += 1
+            if error:
+                self.errors_total += 1
+            self._latencies.append(latency_s)
+
+    # ----------------------------------------------------------------- reporting
+    @property
+    def mean_batch_size(self) -> float:
+        with self._lock:
+            total = sum(size * count for size, count in self.batch_size_histogram.items())
+            return total / self.batches_total if self.batches_total else 0.0
+
+    def latency_percentile_ms(self, fraction: float) -> float:
+        with self._lock:
+            return 1000.0 * _percentile(list(self._latencies), fraction)
+
+    def to_dict(self, queue_depth: int = 0) -> dict:
+        with self._lock:
+            histogram = {
+                str(size): count
+                for size, count in sorted(self.batch_size_histogram.items())
+            }
+            requests_total = self.requests_total
+            errors_total = self.errors_total
+            batches_total = self.batches_total
+        return {
+            "requests_total": requests_total,
+            "errors_total": errors_total,
+            "batches_total": batches_total,
+            "queue_depth": queue_depth,
+            "batch_size_histogram": histogram,
+            "mean_batch_size": self.mean_batch_size,
+            "latency_p50_ms": self.latency_percentile_ms(0.50),
+            "latency_p99_ms": self.latency_percentile_ms(0.99),
+        }
+
+
+class ReasoningServer:
+    """Worker pool + dynamic batcher in front of a trained reasoner.
+
+    Each worker serves micro-batches on its own reasoner replica
+    (:meth:`~repro.serve.reasoner.Reasoner.replicate` shares the trained
+    pipeline and the LRU action-space caches, so replicas stay cheap and
+    cache-warm); reasoners without ``replicate`` — the closed-form embedding
+    family, whose queries are read-only — are shared directly.
+    """
+
+    def __init__(
+        self,
+        reasoner,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 5.0,
+        num_workers: int = 1,
+        default_k: int = 10,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if default_k < 1:
+            raise ValueError("default_k must be >= 1")
+        self.reasoner = reasoner
+        self.default_k = default_k
+        self.batcher = DynamicBatcher(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms)
+        self.stats = ServerStats()
+        self._replicas = [reasoner]
+        for _ in range(num_workers - 1):
+            replicate = getattr(reasoner, "replicate", None)
+            self._replicas.append(replicate() if callable(replicate) else reasoner)
+        self._threads: List[threading.Thread] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "ReasoningServer":
+        """Launch the worker pool (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for index, replica in enumerate(self._replicas):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(replica,),
+                name=f"mmkgr-serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self) -> None:
+        """Stop accepting work and wait for queued requests to drain."""
+        self.batcher.close()
+        for thread in self._threads:
+            thread.join()
+        self._threads = []
+        self._started = False
+
+    def __enter__(self) -> "ReasoningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- serving
+    def submit(
+        self, head: EntityLike, relation: RelationLike, k: Optional[int] = None
+    ) -> "Future[List[Prediction]]":
+        """Queue one query; the returned future resolves to its predictions."""
+        if not self._started:
+            raise RuntimeError("the server is not running; call start() first")
+        payload = QueryRequest(head, relation, k if k is not None else self.default_k)
+        submitted = time.monotonic()
+        future = self.batcher.submit(payload)
+
+        def _record(done: Future) -> None:
+            failed = (not done.cancelled()) and done.exception() is not None
+            self.stats.record_request(time.monotonic() - submitted, error=failed)
+
+        future.add_done_callback(_record)
+        return future
+
+    def query(
+        self, head: EntityLike, relation: RelationLike, k: Optional[int] = None
+    ) -> List[Prediction]:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(head, relation, k=k).result()
+
+    def stats_dict(self) -> dict:
+        payload = self.stats.to_dict(queue_depth=self.batcher.depth)
+        cache_stats = getattr(self.reasoner, "cache_stats", None)
+        if callable(cache_stats):
+            payload["cache"] = cache_stats()
+        return payload
+
+    # ------------------------------------------------------------------- workers
+    def _worker_loop(self, replica) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            self.stats.record_batch(len(batch))
+            self._process(replica, batch)
+
+    def _process(self, replica, batch: List[BatchRequest]) -> None:
+        # query_batch answers one k for the whole batch; group mixed-k
+        # traffic so every request still rides a vectorized call.
+        by_k: Dict[int, List[BatchRequest]] = defaultdict(list)
+        for request in batch:
+            by_k[request.payload.k].append(request)
+        for k, group in by_k.items():
+            execute_batch(
+                group,
+                lambda payloads, k=k: replica.query_batch(
+                    [(p.head, p.relation) for p in payloads], k=k
+                ),
+                lambda payload, k=k: replica.query(payload.head, payload.relation, k=k),
+            )
+
+    # ---------------------------------------------------------------- front ends
+    def serve_http(self, host: str = "127.0.0.1", port: int = 8977) -> None:
+        """Serve HTTP/JSON until interrupted (blocking)."""
+        with self.http_server(host, port) as httpd:
+            httpd.serve_forever()
+
+    def http_server(self, host: str = "127.0.0.1", port: int = 8977) -> ThreadingHTTPServer:
+        """Build (but do not run) the HTTP front end; useful for tests."""
+        self.start()
+        server = ThreadingHTTPServer((host, port), _RequestHandler)
+        server.daemon_threads = True
+        server.reasoning_server = self
+        return server
+
+    def serve_stdio(self, input_stream: IO[str], output_stream: IO[str]) -> int:
+        """JSON-lines mode: one query per input line, one result per output line.
+
+        Queries are submitted as they are read, so consecutive lines coalesce
+        into micro-batches; results are emitted in input order.  Returns the
+        number of failed requests (0 = every line answered).
+        """
+        self.start()
+        pending: Deque[tuple[dict, Future]] = deque()
+        failures = 0
+
+        def drain(block: bool) -> int:
+            failed = 0
+            while pending and (block or pending[0][1].done()):
+                echo, future = pending.popleft()
+                try:
+                    predictions = future.result()
+                    record = dict(echo)
+                    record["predictions"] = [p.to_dict() for p in predictions]
+                except Exception as error:
+                    # Bad queries and engine failures alike become an error
+                    # record on the stream — pending lines must still get
+                    # their answers, mirroring the HTTP front end's 400/500.
+                    record = dict(echo)
+                    record["error"] = str(error)
+                    failed += 1
+                output_stream.write(json.dumps(record) + "\n")
+            output_stream.flush()
+            return failed
+
+        for line in input_stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                head, relation, k = _parse_query_object(json.loads(line), self.default_k)
+            except (ValueError, TypeError, KeyError) as error:
+                output_stream.write(json.dumps({"error": str(error), "input": line}) + "\n")
+                output_stream.flush()
+                failures += 1
+                continue
+            echo = {"head": head, "relation": relation, "k": k}
+            pending.append((echo, self.submit(head, relation, k=k)))
+            failures += drain(block=False)
+        failures += drain(block=True)
+        return failures
+
+
+def _parse_query_object(payload: Any, default_k: int) -> tuple:
+    """Accept ``{"head": .., "relation": .., "k": ..}`` or a ``[head, relation]`` pair."""
+    if isinstance(payload, dict):
+        if "head" not in payload or "relation" not in payload:
+            raise ValueError("query object requires 'head' and 'relation' fields")
+        k = payload.get("k", default_k)
+    elif isinstance(payload, (list, tuple)) and len(payload) == 2:
+        payload = {"head": payload[0], "relation": payload[1]}
+        k = default_k
+    else:
+        raise ValueError(
+            "expected a {'head', 'relation'[, 'k']} object or a [head, relation] pair"
+        )
+    k = int(k)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return payload["head"], payload["relation"], k
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Stdlib request handler: /query (POST), /stats and /healthz (GET)."""
+
+    protocol_version = "HTTP/1.1"
+    # 30 s is far beyond any sane micro-batch wait; it bounds a wedged worker.
+    result_timeout_s = 30.0
+
+    @property
+    def reasoning(self) -> ReasoningServer:
+        return self.server.reasoning_server
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002 - stdlib signature
+        pass  # per-request logging is the stats endpoint's job
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/stats":
+            self._send_json(200, self.reasoning.stats_dict())
+        elif self.path == "/healthz":
+            self._send_json(200, {"status": "ok"})
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        # Always consume the body first: on a keep-alive connection, unread
+        # body bytes would be parsed as the next request line.
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            body = self.rfile.read(length) if length > 0 else b""
+        except (ValueError, TypeError):
+            self.close_connection = True
+            self._send_json(400, {"error": "invalid Content-Length header"})
+            return
+        if self.path != "/query":
+            self._send_json(404, {"error": f"unknown path {self.path!r}"})
+            return
+        try:
+            payload = json.loads(body or b"null")
+            head, relation, k = _parse_query_object(payload, self.reasoning.default_k)
+        except (ValueError, TypeError, KeyError) as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        try:
+            predictions = self.reasoning.submit(head, relation, k=k).result(
+                timeout=self.result_timeout_s
+            )
+        except QUERY_ERRORS as error:
+            self._send_json(400, {"error": str(error)})
+            return
+        except Exception as error:  # engine failure: the client still gets JSON
+            self._send_json(500, {"error": str(error)})
+            return
+        self._send_json(
+            200,
+            {
+                "head": head,
+                "relation": relation,
+                "k": k,
+                "predictions": [p.to_dict() for p in predictions],
+            },
+        )
