@@ -1,0 +1,121 @@
+"""Benchmark-regression guard: diff fresh BENCH_*.json against the baseline.
+
+The tier-1 CI job runs the benchmark harness with ``--benchmark-json`` and the
+headline benchmarks record their shipped numbers in ``extra_info`` (serving
+batch speedup, daemon speedup, vectorized-training speedup).  This script
+compares those numbers against the committed ``benchmarks/baseline.json``:
+
+* ``--mode warn`` (pull requests): print GitHub ``::warning`` annotations for
+  regressions and always exit 0, so PR iteration is never blocked by a noisy
+  shared runner;
+* ``--mode fail`` (push to main): exit 1 on any regression beyond the
+  tolerance, so a merged change cannot silently erode the shipped numbers.
+
+A metric regresses when the fresh value falls below ``baseline * (1 -
+tolerance)`` (all guarded metrics are higher-is-better speedups).  Missing
+benchmarks or missing ``extra_info`` keys are reported as warnings in both
+modes — a renamed benchmark should update the baseline, not evade it.
+
+To refresh the baseline after an intentional perf change, copy the fresh
+values into ``benchmarks/baseline.json`` in the same commit and note why.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --bench BENCH_tier1.json --baseline benchmarks/baseline.json --mode warn
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_fresh_metrics(bench_path: Path) -> dict:
+    """Flatten a pytest-benchmark JSON into {"bench_name::extra_key": value}."""
+    payload = json.loads(bench_path.read_text(encoding="utf-8"))
+    metrics = {}
+    for entry in payload.get("benchmarks", []):
+        name = entry.get("name", "")
+        for key, value in (entry.get("extra_info") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[f"{name}::{key}"] = float(value)
+    return metrics
+
+
+def check(baseline: dict, fresh: dict) -> tuple:
+    """Return (regressions, missing, ok) lists of human-readable lines."""
+    tolerance = float(baseline.get("tolerance_pct", 15)) / 100.0
+    regressions, missing, ok = [], [], []
+    for metric, spec in baseline.get("metrics", {}).items():
+        expected = float(spec["value"])
+        threshold = expected * (1.0 - tolerance)
+        actual = fresh.get(metric)
+        if actual is None:
+            missing.append(
+                f"{metric}: not found in the fresh benchmark JSON "
+                f"(expected ~{expected:g}); renamed benchmarks must update the baseline"
+            )
+            continue
+        if actual < threshold:
+            regressions.append(
+                f"{metric}: {actual:g} is below {threshold:g} "
+                f"(baseline {expected:g} - {tolerance:.0%} tolerance)"
+            )
+        else:
+            ok.append(f"{metric}: {actual:g} (baseline {expected:g}, floor {threshold:g})")
+    return regressions, missing, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", required=True, help="fresh pytest-benchmark JSON")
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baseline.json",
+        help="committed baseline JSON (default benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("warn", "fail"),
+        default="warn",
+        help="warn: annotate and exit 0 (PRs); fail: exit 1 on regression (main)",
+    )
+    args = parser.parse_args(argv)
+
+    bench_path = Path(args.bench)
+    if not bench_path.exists():
+        # Same policy as missing metrics: a vanished benchmark JSON must not
+        # silently disable the blocking guard on main.
+        severity = "error" if args.mode == "fail" else "warning"
+        print(f"::{severity} ::benchmark regression guard: {bench_path} not found")
+        return 1 if args.mode == "fail" else 0
+    baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+    regressions, missing, ok = check(baseline, load_fresh_metrics(bench_path))
+
+    severity = "error" if args.mode == "fail" else "warning"
+    for line in ok:
+        print(f"ok       {line}")
+    # A missing metric is treated like a regression in fail mode: a renamed
+    # benchmark (or a dropped extra_info line) must update the baseline, not
+    # silently disable the guard.
+    for line in missing:
+        print(f"::{severity} ::benchmark metric missing — {line}")
+    for line in regressions:
+        print(f"::{severity} ::benchmark regression — {line}")
+
+    if regressions or missing:
+        print(
+            f"{len(regressions)} metric(s) regressed beyond the "
+            f"{baseline.get('tolerance_pct', 15)}% tolerance, "
+            f"{len(missing)} missing from the fresh benchmark JSON"
+        )
+        return 1 if args.mode == "fail" else 0
+    print("benchmark regression guard: all headline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,6 +61,8 @@ def test_query_batch_beats_sequential_loop(benchmark):
 
     throughput_seq = len(queries) / sequential_s
     throughput_batch = len(queries) / batched_s
+    # Headline number guarded by the benchmark-regression CI step.
+    benchmark.extra_info["batch_speedup"] = round(sequential_s / batched_s, 3)
     print()
     print(
         format_table(

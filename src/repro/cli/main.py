@@ -88,7 +88,10 @@ def cmd_train(args: argparse.Namespace) -> int:
     dataset = build_named_dataset(args.dataset, scale=args.scale, seed=args.seed)
     ablation = AblationName(args.ablation)
     pipeline = build_ablation_pipeline(dataset, ablation, preset=preset, rng=args.seed)
-    result = pipeline.run(evaluate_relations=args.relations)
+    result = pipeline.run(
+        evaluate_relations=args.relations,
+        vectorized=False if args.scalar_rollouts else None,
+    )
     _print_metrics(f"{ablation.value} on {args.dataset} — entity link prediction", result.entity_metrics)
     if args.relations:
         _print_metrics("relation link prediction (MAP)", result.relation_metrics)
@@ -379,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--relations", action="store_true", help="also evaluate relation MAP")
     train.add_argument("--output", type=str, default=None, help="checkpoint directory to write")
+    train.add_argument(
+        "--scalar-rollouts",
+        action="store_true",
+        help="sample REINFORCE episodes one query at a time instead of the "
+        "vectorized lockstep engine (slower; for debugging/comparison)",
+    )
     _add_common_dataset_arguments(train)
     _add_preset_arguments(train)
     train.set_defaults(handler=cmd_train)

@@ -20,10 +20,8 @@ as the one-call train+evaluate shim the experiment tables use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
-
-import numpy as np
 
 from repro.core.config import EvaluationConfig, ExperimentPreset, fast_preset
 from repro.core.evaluator import (
@@ -41,7 +39,7 @@ from repro.kg.graph import Triple
 from repro.rl.environment import MKGEnvironment
 from repro.rl.imitation import ImitationTrainer
 from repro.rl.reinforce import ReinforceTrainer, TrainingHistory
-from repro.rl.rewards import CompositeReward, ZeroOneReward, build_reward
+from repro.rl.rewards import ZeroOneReward, build_reward
 from repro.utils.logging import get_logger
 from repro.utils.rng import SeedLike, new_rng
 
@@ -164,14 +162,23 @@ class MMKGRPipeline:
         self.agent = MMKGRAgent(self.features, config=self.preset.model, rng=self.rng)
         return self.agent
 
-    def warm_start(self, verbose: bool = False) -> List[float]:
-        """Stage 4a: supervised path-imitation warm start (shared by all RL models)."""
+    def warm_start(
+        self, verbose: bool = False, vectorized: Optional[bool] = None
+    ) -> List[float]:
+        """Stage 4a: supervised path-imitation warm start (shared by all RL models).
+
+        ``vectorized`` overrides ``preset.imitation.vectorized`` for this run,
+        mirroring :meth:`train`.
+        """
         if self.agent is None:
             self.build()
         if self.preset.imitation.epochs == 0:
             return []
+        imitation_config = self.preset.imitation
+        if vectorized is not None and vectorized != imitation_config.vectorized:
+            imitation_config = replace(imitation_config, vectorized=vectorized)
         trainer = ImitationTrainer(
-            self.agent, self.environment, config=self.preset.imitation, rng=self.rng
+            self.agent, self.environment, config=imitation_config, rng=self.rng
         )
         return trainer.fit(self.dataset.splits.train, verbose=verbose)
 
@@ -179,16 +186,27 @@ class MMKGRPipeline:
         self,
         verbose: bool = False,
         epoch_callback=None,
+        vectorized: Optional[bool] = None,
     ) -> TrainingHistory:
-        """Stage 4: imitation warm start followed by REINFORCE fine-tuning."""
+        """Stage 4: imitation warm start followed by REINFORCE fine-tuning.
+
+        ``vectorized`` overrides the preset's ``reinforce.vectorized`` and
+        ``imitation.vectorized`` for this run: ``True``/``False`` select the
+        lockstep batched rollout engine or the scalar per-query loop for both
+        training stages, ``None`` keeps the preset's choice.  Agents the
+        engine cannot batch fall back to the scalar loop either way.
+        """
         if self.agent is None:
             self.build()
-        self.warm_start(verbose=verbose)
+        self.warm_start(verbose=verbose, vectorized=vectorized)
+        reinforce_config = self.preset.reinforce
+        if vectorized is not None and vectorized != reinforce_config.vectorized:
+            reinforce_config = replace(reinforce_config, vectorized=vectorized)
         trainer = ReinforceTrainer(
             self.agent,
             self.environment,
             self.reward,
-            config=self.preset.reinforce,
+            config=reinforce_config,
             rng=self.rng,
         )
         return trainer.fit(
@@ -224,9 +242,10 @@ class MMKGRPipeline:
         evaluate_relations: bool = False,
         test_triples: Optional[Sequence[Triple]] = None,
         verbose: bool = False,
+        vectorized: Optional[bool] = None,
     ) -> PipelineResult:
         """Full pipeline: pretrain, train, and evaluate on the test split."""
-        history = self.train(verbose=verbose)
+        history = self.train(verbose=verbose, vectorized=vectorized)
         test = list(test_triples) if test_triples is not None else self.dataset.splits.test
         entity_metrics = evaluate_entity_prediction(
             self.agent,

@@ -14,6 +14,7 @@ from repro.rl.rewards import (
     build_reward,
 )
 from repro.rl.rollout import BeamSearchResult, beam_search, sample_episode
+from repro.rl.batched_rollout import BatchedRolloutEngine
 from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "sample_episode",
     "beam_search",
     "BeamSearchResult",
+    "BatchedRolloutEngine",
     "ReinforceConfig",
     "ReinforceTrainer",
 ]

@@ -1,0 +1,279 @@
+"""Vectorized REINFORCE rollouts: a mini-batch of episodes in lockstep.
+
+:func:`repro.rl.rollout.sample_episode` walks one query at a time, so every
+step pays a full per-query fusion/policy/LSTM forward on ``(1, d)`` tensors —
+the same per-op dispatch overhead the serving engine eliminated for beam
+search.  :class:`BatchedRolloutEngine` advances *all* queries of a training
+mini-batch depth-by-depth instead:
+
+* one differentiable batched fusion forward per step
+  (:class:`repro.nn.batched.DifferentiableBatchedFusion`) with gradients
+  flowing into the fuser weights and through the history tensor;
+* one masked batched policy evaluation per step over padded per-query action
+  spaces (:meth:`repro.rl.policy.PolicyNetwork.log_probs_batch`);
+* one batched ``LSTMCell`` evaluation per step folding every query's chosen
+  edge into its path history.
+
+Per-query termination is honoured: finished episodes drop out of the batch
+while the rest keep walking, so environments that stop early stay supported.
+
+RNG contract
+------------
+Each episode draws from its **own** child generator, spawned in episode order
+from one parent stream (:func:`repro.utils.rng.spawn_rngs`).  Lockstep
+execution interleaves draws *across* episodes (step-major) while the scalar
+loop drains each episode in turn (episode-major); with a single shared stream
+the two orders would consume different numbers and silently diverge.  Spawned
+child streams make the draw order irrelevant: the scalar loop and the batched
+engine produce identical episodes from the same parent seed, which is exactly
+what ``tests/rl/test_batched_rollout.py`` asserts.
+
+Agents that override ``action_log_probs`` (e.g. the hierarchical RLH agent)
+or use a fuser without a batched implementation are reported as unsupported
+via :meth:`BatchedRolloutEngine.supports`; the trainer falls back to the
+scalar loop for them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.batched import DifferentiableBatchedFusion, pad_action_matrices
+from repro.nn.tensor import Tensor
+from repro.rl.environment import MKGEnvironment, Query
+from repro.rl.history import PathHistoryEncoder
+from repro.rl.policy import PolicyNetwork
+from repro.rl.rollout import SampledEpisode
+from repro.utils.rng import SeedLike, spawn_rngs
+
+
+class BatchedRolloutEngine:
+    """Samples REINFORCE episodes for a batch of queries in lockstep."""
+
+    def __init__(self, agent, environment: MKGEnvironment):
+        if not self.supports(agent):
+            raise ValueError(
+                "agent does not support batched rollouts; use sample_episode "
+                "per query instead (custom action_log_probs or fuser)"
+            )
+        self.agent = agent
+        self.environment = environment
+        self._fusion = DifferentiableBatchedFusion(agent)
+
+    @staticmethod
+    def supports(agent) -> bool:
+        """Whether ``agent`` runs the stock scoring pipeline batchable here.
+
+        Mirrors the serving engine's fast-path check: the agent must score
+        actions with the unmodified ``MMKGRAgent.action_log_probs`` through a
+        stock :class:`PolicyNetwork`, keep its history in a
+        :class:`PathHistoryEncoder`, and use a fuser with a vectorized
+        implementation.
+        """
+        # Imported here: repro.core.model pulls in repro.core.config, which
+        # imports back into repro.rl during package initialisation.
+        from repro.core.model import MMKGRAgent
+
+        return (
+            isinstance(agent, MMKGRAgent)
+            and type(agent).action_log_probs is MMKGRAgent.action_log_probs
+            and isinstance(agent.policy, PolicyNetwork)
+            and isinstance(agent.history_encoder, PathHistoryEncoder)
+            and DifferentiableBatchedFusion(agent).supported
+        )
+
+    # ---------------------------------------------------------------- helpers
+    def _seed_history(self, sources: np.ndarray):
+        """Batched equivalent of begin_episode(): fold the (zero relation,
+        source entity) seed step through the agent's own LSTM cell so the
+        episode graph starts at the trainable parameters."""
+        features = self.agent.features
+        cell_module = self.agent.history_encoder.cell
+        batch = sources.shape[0]
+        seed_inputs = Tensor(
+            np.concatenate(
+                [
+                    np.zeros((batch, features.structural_dim)),
+                    features.entity_embeddings[sources],
+                ],
+                axis=1,
+            )
+        )
+        return cell_module(seed_inputs, cell_module.init_state(batch))
+
+    def _step_log_probs(self, states, sources, relations, rows, action_lists, hidden):
+        """Masked log π over each active row's action space, shape (rows, n_max)."""
+        features = self.agent.features
+        active = np.asarray(rows, dtype=np.intp)
+        padded, mask = pad_action_matrices(
+            action_lists, features.relation_embeddings, features.entity_embeddings
+        )
+        currents = np.fromiter(
+            (states[i].current_entity for i in rows), dtype=np.intp, count=len(rows)
+        )
+        if self._fusion.needs_modalities:
+            source_text = features.text_features[sources[active]]
+            source_image = features.image_features[sources[active]]
+            current_text = features.text_features[currents]
+            current_image = features.image_features[currents]
+        else:
+            source_text = source_image = current_text = current_image = None
+        fused = self._fusion.fuse(
+            features.entity_embeddings[sources[active]],
+            features.entity_embeddings[currents],
+            features.relation_embeddings[relations[active]],
+            hidden,
+            source_text,
+            source_image,
+            current_text,
+            current_image,
+        )
+        return self.agent.policy.log_probs_batch(fused, padded, mask)
+
+    def _advance_history(self, chosen, hidden, cell):
+        """Batched observe_step(): fold every row's chosen edge into its history."""
+        features = self.agent.features
+        rel_ids = np.fromiter((a[0] for a in chosen), dtype=np.intp, count=len(chosen))
+        ent_ids = np.fromiter((a[1] for a in chosen), dtype=np.intp, count=len(chosen))
+        step_inputs = Tensor(
+            np.concatenate(
+                [
+                    features.relation_embeddings[rel_ids],
+                    features.entity_embeddings[ent_ids],
+                ],
+                axis=1,
+            )
+        )
+        return self.agent.history_encoder.cell(step_inputs, (hidden, cell))
+
+    # -------------------------------------------------------------------- run
+    def sample_episodes(
+        self,
+        queries: Sequence[Query],
+        rngs: Optional[Sequence[np.random.Generator]] = None,
+        rng: SeedLike = None,
+        greedy: bool = False,
+    ) -> List[SampledEpisode]:
+        """Roll out one episode per query, all queries advanced in lockstep.
+
+        ``rngs`` supplies one child generator per episode (the trainer spawns
+        them so its scalar fallback consumes identical streams); when omitted
+        they are spawned here from ``rng``.  Episode ``i`` is sampled exactly
+        as ``sample_episode(agent, environment, queries[i], rng=rngs[i])``
+        would sample it, including the log-prob tensors needed for REINFORCE.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if rngs is None:
+            rngs = spawn_rngs(rng, len(queries))
+        elif len(rngs) != len(queries):
+            raise ValueError(f"expected {len(queries)} rngs, got {len(rngs)}")
+
+        environment = self.environment
+        batch = len(queries)
+        states = [environment.reset(query) for query in queries]
+        episodes = [SampledEpisode(state=state) for state in states]
+        sources = np.fromiter((q.source for q in queries), dtype=np.intp, count=batch)
+        relations = np.fromiter((q.relation for q in queries), dtype=np.intp, count=batch)
+        hidden, cell = self._seed_history(sources)
+
+        # `rows[r]` maps the r-th row of the live hidden/cell batch to its
+        # episode index; finished episodes are dropped from the batch.
+        rows = list(range(batch))
+        while True:
+            keep = [r for r, i in enumerate(rows) if not environment.is_terminal(states[i])]
+            if not keep:
+                break
+            if len(keep) != len(rows):
+                index = np.asarray(keep, dtype=np.intp)
+                hidden, cell = hidden[index], cell[index]
+                rows = [rows[r] for r in keep]
+
+            action_lists = [environment.available_actions(states[i]) for i in rows]
+            log_probs = self._step_log_probs(
+                states, sources, relations, rows, action_lists, hidden
+            )
+
+            chosen = []
+            for row, i in enumerate(rows):
+                count = len(action_lists[row])
+                probabilities = np.exp(log_probs.data[row, :count])
+                probabilities = probabilities / probabilities.sum()
+                if greedy:
+                    choice = int(np.argmax(probabilities))
+                else:
+                    choice = int(rngs[i].choice(count, p=probabilities))
+                episodes[i].log_probs.append(log_probs[row, choice])
+                chosen.append(action_lists[row][choice])
+
+            hidden, cell = self._advance_history(chosen, hidden, cell)
+            for row, i in enumerate(rows):
+                environment.step(states[i], chosen[row])
+        return episodes
+
+    def teacher_force(
+        self,
+        demonstrations: Sequence,
+    ) -> List[List[Tensor]]:
+        """Gold-action log-probs for teacher-forced demonstration paths.
+
+        ``demonstrations`` is a sequence of ``(query, path)`` pairs where
+        ``path`` is the (already padded) list of gold ``(relation, entity)``
+        actions.  Returns one list of log-prob tensors per demonstration, in
+        step order — exactly what the scalar loop in
+        :meth:`repro.rl.imitation.ImitationTrainer._train_batch` produces.  A
+        demonstration stops contributing as soon as its gold action is absent
+        from the action space (a pruned edge), its path is exhausted, or its
+        episode is terminal, mirroring the scalar control flow.
+        """
+        demonstrations = list(demonstrations)
+        if not demonstrations:
+            return []
+        environment = self.environment
+        batch = len(demonstrations)
+        queries = [query for query, _ in demonstrations]
+        paths = [list(path) for _, path in demonstrations]
+        states = [environment.reset(query) for query in queries]
+        log_prob_lists: List[List[Tensor]] = [[] for _ in range(batch)]
+        sources = np.fromiter((q.source for q in queries), dtype=np.intp, count=batch)
+        relations = np.fromiter((q.relation for q in queries), dtype=np.intp, count=batch)
+        hidden, cell = self._seed_history(sources)
+
+        rows = list(range(batch))
+        cursor = [0] * batch  # next gold-action index per demonstration
+        while True:
+            keep, action_lists, gold_indices = [], [], []
+            for r, i in enumerate(rows):
+                if environment.is_terminal(states[i]) or cursor[i] >= len(paths[i]):
+                    continue
+                actions = environment.available_actions(states[i])
+                try:
+                    gold_index = actions.index(paths[i][cursor[i]])
+                except ValueError:
+                    continue  # the demonstration stepped through a pruned edge
+                keep.append(r)
+                action_lists.append(actions)
+                gold_indices.append(gold_index)
+            if not keep:
+                break
+            if len(keep) != len(rows):
+                index = np.asarray(keep, dtype=np.intp)
+                hidden, cell = hidden[index], cell[index]
+                rows = [rows[r] for r in keep]
+
+            log_probs = self._step_log_probs(
+                states, sources, relations, rows, action_lists, hidden
+            )
+            chosen = []
+            for row, i in enumerate(rows):
+                log_prob_lists[i].append(log_probs[row, gold_indices[row]])
+                chosen.append(action_lists[row][gold_indices[row]])
+
+            hidden, cell = self._advance_history(chosen, hidden, cell)
+            for row, i in enumerate(rows):
+                environment.step(states[i], chosen[row])
+                cursor[i] += 1
+        return log_prob_lists

@@ -18,13 +18,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple
 
 from repro.kg.graph import KnowledgeGraph, Triple
 from repro.nn import Adam, clip_grad_norm
 from repro.nn.layers import Module
+from repro.rl.batched_rollout import BatchedRolloutEngine
 from repro.rl.environment import MKGEnvironment, Query
 from repro.rl.rollout import ReasoningAgent
 from repro.utils.logging import get_logger
@@ -43,6 +42,9 @@ class ImitationConfig:
     grad_clip: float = 5.0
     max_demonstrations: Optional[int] = None
     seed: int = 23
+    # Teacher-force whole mini-batches through the lockstep BatchedRolloutEngine
+    # when the agent supports it; False forces the per-demonstration loop.
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 0:
@@ -109,6 +111,14 @@ class ImitationTrainer:
         self.config = config or ImitationConfig()
         self.rng = new_rng(self.config.seed if rng is None else rng)
         self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
+        self._engine: Optional[BatchedRolloutEngine] = None
+        if self.config.vectorized and BatchedRolloutEngine.supports(agent):
+            self._engine = BatchedRolloutEngine(agent, environment)
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether demonstration batches are teacher-forced through the engine."""
+        return self._engine is not None
 
     # ------------------------------------------------------------ demonstrations
     def collect_demonstrations(
@@ -159,33 +169,49 @@ class ImitationTrainer:
                 )
         return epoch_losses
 
+    def _padded_path(self, query: Query, path) -> List[Tuple[int, int]]:
+        """Extend a demonstration with NO_OP self-loops up to ``max_steps``.
+
+        After the demonstration reaches the answer, the gold action for every
+        remaining step is the NO_OP self-loop, which teaches the agent to stop
+        once it has found the target.
+        """
+        no_op = self.environment.graph.no_op_relation_id
+        padded_path = list(path)
+        if no_op is not None:
+            while len(padded_path) < self.environment.max_steps:
+                padded_path.append(
+                    (no_op, padded_path[-1][1] if padded_path else query.source)
+                )
+        return padded_path
+
     def _train_batch(self, batch) -> float:
         self.optimizer.zero_grad()
         losses = []
-        no_op = self.environment.graph.no_op_relation_id
-        for query, path in batch:
-            state = self.environment.reset(query)
-            self.agent.begin_episode(query)
-            # After the demonstration reaches the answer, the gold action for
-            # every remaining step is the NO_OP self-loop, which teaches the
-            # agent to stop once it has found the target.
-            padded_path = list(path)
-            if no_op is not None:
-                while len(padded_path) < self.environment.max_steps:
-                    padded_path.append((no_op, padded_path[-1][1] if padded_path else query.source))
-            for gold_action in padded_path:
-                actions = self.environment.available_actions(state)
-                try:
-                    gold_index = actions.index(gold_action)
-                except ValueError:
-                    break  # the demonstration stepped through a pruned edge
-                log_probs = self.agent.action_log_probs(state, actions)
-                losses.append(-log_probs[gold_index])
-                relation, entity = gold_action
-                self.agent.observe_step(relation, entity)
-                state = self.environment.step(state, gold_action)
-                if self.environment.is_terminal(state):
-                    break
+        if self._engine is not None:
+            per_demonstration = self._engine.teacher_force(
+                [(query, self._padded_path(query, path)) for query, path in batch]
+            )
+            losses = [
+                -log_prob for step_log_probs in per_demonstration for log_prob in step_log_probs
+            ]
+        else:
+            for query, path in batch:
+                state = self.environment.reset(query)
+                self.agent.begin_episode(query)
+                for gold_action in self._padded_path(query, path):
+                    actions = self.environment.available_actions(state)
+                    try:
+                        gold_index = actions.index(gold_action)
+                    except ValueError:
+                        break  # the demonstration stepped through a pruned edge
+                    log_probs = self.agent.action_log_probs(state, actions)
+                    losses.append(-log_probs[gold_index])
+                    relation, entity = gold_action
+                    self.agent.observe_step(relation, entity)
+                    state = self.environment.step(state, gold_action)
+                    if self.environment.is_terminal(state):
+                        break
         if not losses:
             return 0.0
         loss = losses[0]

@@ -9,7 +9,7 @@ The action with the highest probability is the next reasoning step.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +61,35 @@ class PolicyNetwork(Module):
         """Probabilities as a plain array (used at inference time)."""
         scores = self.action_scores(fused_features, action_embeddings)
         return scores.softmax(axis=-1).data.copy()
+
+    def log_probs_batch(
+        self, fused_features: Tensor, action_embeddings: np.ndarray, mask: np.ndarray
+    ) -> Tensor:
+        """Masked log-probabilities over padded per-row action matrices.
+
+        ``fused_features`` is the batched complementary features ``Z`` of shape
+        ``(B, fusion_dim)``; ``action_embeddings`` is a padded ``(B, n_max,
+        action_dim)`` batch (see :func:`repro.nn.batched.pad_action_matrices`)
+        and ``mask`` a boolean ``(B, n_max)`` marking real actions.  Padded
+        positions receive ``-inf`` scores, so each row's log-softmax matches
+        :meth:`forward` on that row's unpadded action matrix.  This is the
+        differentiable training twin of :meth:`project_batch`.
+        """
+        action_embeddings = np.asarray(action_embeddings, dtype=np.float64)
+        if action_embeddings.ndim != 3 or action_embeddings.shape[2] != self.action_dim:
+            raise ValueError(
+                f"expected padded action embeddings of shape (B, n, {self.action_dim}), "
+                f"got {action_embeddings.shape}"
+            )
+        batch, n_max = action_embeddings.shape[:2]
+        projected = self.output_layer(self.hidden_layer(fused_features).relu())  # (B, action_dim)
+        scores = (
+            Tensor(action_embeddings)
+            .matmul(projected.reshape(batch, self.action_dim, 1))
+            .reshape(batch, n_max)
+        )
+        bias = np.where(np.asarray(mask, dtype=bool), 0.0, -np.inf)
+        return (scores + Tensor(bias)).log_softmax(axis=-1)
 
     def project_batch(self, fused_features: np.ndarray) -> np.ndarray:
         """``W_2 ReLU(W_1 Z + b_1) + b_2`` for a ``(B, fusion_dim)`` batch.

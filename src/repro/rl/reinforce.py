@@ -7,6 +7,15 @@ training graph; its gradient is estimated with the likelihood-ratio trick
 
 with a moving-average baseline subtracted from the reward to reduce variance
 (a standard addition that does not change the expectation of the gradient).
+
+Episode sampling runs through :class:`repro.rl.batched_rollout.BatchedRolloutEngine`
+by default (``ReinforceConfig.vectorized``), which rolls out the whole
+mini-batch in lockstep with batched fusion/policy/LSTM forwards.  Agents the
+engine cannot batch (custom ``action_log_probs`` or fuser — e.g. the
+hierarchical RLH baseline) automatically fall back to the scalar
+``sample_episode`` loop, as does ``vectorized=False``.  Both paths draw each
+episode from its own child RNG stream spawned in episode order from the
+trainer's generator, so they produce identical episodes under the same seed.
 """
 
 from __future__ import annotations
@@ -14,15 +23,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.kg.graph import Triple
 from repro.nn import Adam, clip_grad_norm
 from repro.nn.layers import Module
+from repro.rl.batched_rollout import BatchedRolloutEngine
 from repro.rl.environment import MKGEnvironment, Query
 from repro.rl.rollout import ReasoningAgent, sample_episode
 from repro.utils.logging import get_logger
-from repro.utils.rng import SeedLike, new_rng
+from repro.utils.rng import SeedLike, new_rng, spawn_rngs
 
 LOGGER = get_logger("rl.reinforce")
 
@@ -41,6 +49,9 @@ class ReinforceConfig:
     entropy_weight: float = 0.0
     grad_clip: float = 5.0
     seed: int = 11
+    # Sample each mini-batch with the lockstep BatchedRolloutEngine when the
+    # agent supports it; False forces the scalar per-query loop.
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -88,6 +99,14 @@ class ReinforceTrainer:
         self.rng = new_rng(self.config.seed if rng is None else rng)
         self.optimizer = Adam(agent.parameters(), lr=self.config.learning_rate)
         self._baseline = 0.0
+        self._engine: Optional[BatchedRolloutEngine] = None
+        if self.config.vectorized and BatchedRolloutEngine.supports(agent):
+            self._engine = BatchedRolloutEngine(agent, environment)
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether mini-batches are sampled through the lockstep engine."""
+        return self._engine is not None
 
     # ------------------------------------------------------------------ train
     def fit(
@@ -131,6 +150,27 @@ class ReinforceTrainer:
                 epoch_callback(epoch, history)
         return history
 
+    def _sample_batch(self, batch: Sequence[Query]) -> List:
+        """One episode per (query, rollout), identical across both paths.
+
+        The queries are expanded rollout-by-rollout and each episode gets its
+        own child RNG stream, spawned in episode order from the trainer's
+        generator.  Because the streams (not the order of consumption) carry
+        the randomness, the lockstep engine and the scalar loop sample
+        *identical* episodes from the same trainer seed — the seed-parity
+        property guarded by ``tests/rl/test_batched_rollout.py``.
+        """
+        expanded = [
+            query for query in batch for _ in range(self.config.rollouts_per_query)
+        ]
+        rngs = spawn_rngs(self.rng, len(expanded))
+        if self._engine is not None:
+            return self._engine.sample_episodes(expanded, rngs=rngs)
+        return [
+            sample_episode(self.agent, self.environment, query, rng=episode_rng)
+            for query, episode_rng in zip(expanded, rngs)
+        ]
+
     def _train_batch(self, batch: Sequence[Query]) -> tuple:
         """One optimisation step over a batch of queries."""
         self.optimizer.zero_grad()
@@ -138,22 +178,21 @@ class ReinforceTrainer:
         total_success = 0
         episodes = 0
         losses = []
-        for query in batch:
-            for _ in range(self.config.rollouts_per_query):
-                episode = sample_episode(self.agent, self.environment, query, rng=self.rng)
-                reward = float(self.reward_fn(episode.state, self.environment))
-                total_reward += reward
-                total_success += int(episode.state.current_entity == query.answer)
-                episodes += 1
-                advantage = reward - self._baseline
-                self._baseline = (
-                    self.config.baseline_decay * self._baseline
-                    + (1.0 - self.config.baseline_decay) * reward
-                )
-                if not episode.log_probs:
-                    continue
-                for log_prob in episode.log_probs:
-                    losses.append(log_prob * (-advantage))
+        for episode in self._sample_batch(batch):
+            query = episode.state.query
+            reward = float(self.reward_fn(episode.state, self.environment))
+            total_reward += reward
+            total_success += int(episode.state.current_entity == query.answer)
+            episodes += 1
+            advantage = reward - self._baseline
+            self._baseline = (
+                self.config.baseline_decay * self._baseline
+                + (1.0 - self.config.baseline_decay) * reward
+            )
+            if not episode.log_probs:
+                continue
+            for log_prob in episode.log_probs:
+                losses.append(log_prob * (-advantage))
         if losses:
             loss = losses[0]
             for extra in losses[1:]:

@@ -4,7 +4,8 @@ The evaluation-time :func:`repro.rl.rollout.beam_search` answers one query at
 a time: every branch expansion runs its own fusion, policy, and LSTM forward
 pass on ``(1, d)``-shaped tensors, so the cost is dominated by per-op NumPy
 dispatch overhead rather than arithmetic.  This engine advances *all* queries
-of a batch depth-by-depth and batches the per-branch work:
+of a batch depth-by-depth and batches the per-branch work through the shared
+primitives of :mod:`repro.nn.batched`:
 
 * the fusion forward pass runs on ``(B, ...)`` arrays for the gate-attention
   family and the structure-only / concatenation fusers (exact same weights
@@ -19,6 +20,9 @@ Agents that override ``action_log_probs`` (e.g. the hierarchical RLH agent)
 or use a fuser without a batched implementation fall back to per-branch
 scoring through the agent itself, so every ``ReasoningAgent`` stays
 servable — the batch engine is an optimisation, not a new contract.
+
+The same primitives power :class:`repro.rl.batched_rollout.BatchedRolloutEngine`
+on the training side; this module keeps only the beam-search-specific parts.
 """
 
 from __future__ import annotations
@@ -31,8 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.model import MMKGRAgent
-from repro.fusion.variants import ConcatenationFuser, StructureOnlyFuser
-from repro.fusion.gate_attention import UnifiedGateAttentionNetwork
+from repro.nn.batched import BatchedFusion, BatchedLSTM, stable_softmax
 from repro.nn.tensor import no_grad
 from repro.rl.environment import EpisodeState, MKGEnvironment, Query
 from repro.rl.policy import PolicyNetwork
@@ -57,22 +60,6 @@ def _lock_for(agent) -> threading.Lock:
         return lock
 
 
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    """Matches ``Tensor.sigmoid`` numerics (clipped, branch-stable)."""
-    clipped = np.clip(x, -500, 500)
-    return np.where(
-        x >= 0,
-        1.0 / (1.0 + np.exp(-clipped)),
-        np.exp(clipped) / (1.0 + np.exp(clipped)),
-    )
-
-
-def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    shifted = x - x.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=axis, keepdims=True)
-
-
 @dataclass
 class _Branch:
     """One beam entry: graph position plus the branch's LSTM history state."""
@@ -84,171 +71,6 @@ class _Branch:
     hidden: np.ndarray  # (1, history_dim)
     cell: np.ndarray  # (1, history_dim)
     dead: bool = False  # no outgoing actions; excluded from expansion
-
-
-class _BatchedLSTM:
-    """Batched evaluation of the agent's ``LSTMCell`` on plain arrays."""
-
-    def __init__(self, agent: MMKGRAgent):
-        cell = agent.history_encoder.cell
-        self.weight_ih = cell.weight_ih.data
-        self.weight_hh = cell.weight_hh.data
-        self.bias = cell.bias.data
-        self.hidden_size = cell.hidden_size
-
-    def step(
-        self, inputs: np.ndarray, hidden: np.ndarray, cell: np.ndarray
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        gates = inputs @ self.weight_ih + hidden @ self.weight_hh + self.bias
-        h = self.hidden_size
-        i_gate = _sigmoid(gates[:, 0:h])
-        f_gate = _sigmoid(gates[:, h : 2 * h])
-        g_gate = np.tanh(gates[:, 2 * h : 3 * h])
-        o_gate = _sigmoid(gates[:, 3 * h : 4 * h])
-        c_next = f_gate * cell + i_gate * g_gate
-        h_next = o_gate * np.tanh(c_next)
-        return h_next, c_next
-
-
-class _BatchedFusion:
-    """Batched forward of the fusers with a vectorized implementation."""
-
-    def __init__(self, agent: MMKGRAgent):
-        self.agent = agent
-        fuser = agent.fuser
-        self.kind: Optional[str] = None
-        if isinstance(fuser, UnifiedGateAttentionNetwork):
-            self.kind = "gate_attention"
-            self.use_attention = getattr(fuser, "use_attention", True)
-            self.use_filtration = getattr(fuser, "use_filtration", True)
-        elif isinstance(fuser, StructureOnlyFuser):
-            self.kind = "structure_only"
-        elif isinstance(fuser, ConcatenationFuser):
-            self.kind = "concatenation"
-
-    @property
-    def supported(self) -> bool:
-        return self.kind is not None
-
-    @property
-    def needs_modalities(self) -> bool:
-        """Whether the fuser consumes text/image features at all."""
-        return self.kind != "structure_only"
-
-    # ------------------------------------------------------------------ paths
-    def fuse(
-        self,
-        source: np.ndarray,
-        current: np.ndarray,
-        relation: np.ndarray,
-        history: np.ndarray,
-        source_text: Optional[np.ndarray],
-        source_image: Optional[np.ndarray],
-        current_text: Optional[np.ndarray],
-        current_image: Optional[np.ndarray],
-    ) -> np.ndarray:
-        """Complementary features ``Z`` for a batch of branches, shape (B, j).
-
-        The modality arguments may be ``None`` when :attr:`needs_modalities`
-        is false — structure-only fusers never read them.
-        """
-        if self.kind == "structure_only":
-            fuser = self.agent.fuser
-            flat = np.concatenate([source, current, relation, history], axis=1)
-            out = flat @ fuser.projection.weight.data + fuser.projection.bias.data
-            return np.maximum(out, 0.0)
-        if self.kind == "concatenation":
-            fuser = self.agent.fuser
-            flat = np.concatenate(
-                [
-                    source,
-                    current,
-                    relation,
-                    0.5 * (source_text + current_text),
-                    0.5 * (source_image + current_image),
-                    history,
-                ],
-                axis=1,
-            )
-            out = flat @ fuser.projection.weight.data + fuser.projection.bias.data
-            return np.maximum(out, 0.0)
-        return self._gate_attention(
-            source,
-            current,
-            relation,
-            history,
-            source_text,
-            source_image,
-            current_text,
-            current_image,
-        )
-
-    def _gate_attention(
-        self,
-        source: np.ndarray,
-        current: np.ndarray,
-        relation: np.ndarray,
-        history: np.ndarray,
-        source_text: np.ndarray,
-        source_image: np.ndarray,
-        current_text: np.ndarray,
-        current_image: np.ndarray,
-    ) -> np.ndarray:
-        fuser = self.agent.fuser
-        batch = source.shape[0]
-        # Structural slots y_i = [e ; h_t ; r_q] (Eq. 1), three per branch.
-        structural = np.stack(
-            [
-                np.concatenate([source, history, relation], axis=1),
-                np.concatenate([current, history, relation], axis=1),
-                np.concatenate([relation, history, source], axis=1),
-            ],
-            axis=1,
-        )  # (B, 3, slot_dim)
-        # Auxiliary slots x_i = [f_t W_t ; f_i W_i] (Eq. 3).
-        w_text = fuser.text_projection.weight.data
-        w_image = fuser.image_projection.weight.data
-        aux_source = np.concatenate([source_text @ w_text, source_image @ w_image], axis=1)
-        aux_current = np.concatenate(
-            [current_text @ w_text, current_image @ w_image], axis=1
-        )
-        auxiliary = np.stack([aux_source, aux_current, aux_source], axis=1)  # (B, 3, d_x)
-
-        fusion = fuser.attention_fusion
-        slots = structural.shape[1]
-        struct_flat = structural.reshape(batch * slots, -1)
-        aux_flat = auxiliary.reshape(batch * slots, -1)
-        query = (aux_flat @ fusion.w_query.weight.data).reshape(batch, slots, -1)
-        key = (struct_flat @ fusion.w_key.weight.data).reshape(batch, slots, -1)
-        value = (struct_flat @ fusion.w_value.weight.data).reshape(batch, slots, -1)
-
-        joint_left = (key @ fusion.w_l_key.weight.data) * (
-            query @ fusion.w_l_query.weight.data
-        )
-        joint_right = (value @ fusion.w_r_value.weight.data) * (
-            query @ fusion.w_r_query.weight.data
-        )
-
-        if self.use_attention:
-            gate = _sigmoid(joint_left @ fusion.w_gate.weight.data)  # (B, 3, d)
-            gated_key = gate * key
-            gated_query = (1.0 - gate) * query
-            scale = 1.0 / np.sqrt(fusion.config.attention_dim)
-            scores = np.einsum("bmd,bnd->bmn", gated_key, gated_query) * scale
-            attention = _softmax(scores, axis=-1)
-            mixing = _sigmoid(
-                np.einsum("bmn,bnd->bmd", attention, key) @ fusion.w_aggregate.weight.data
-            )  # (B, 3, 1)
-            attended = mixing * np.einsum("bmn,bnj->bmj", attention, joint_right)
-        else:
-            attended = joint_left
-
-        if self.use_filtration:
-            interaction = joint_right * attended
-            features = _sigmoid(interaction) * interaction
-        else:
-            features = attended
-        return features.sum(axis=1)  # (B, j)
 
 
 class BatchBeamSearch:
@@ -270,8 +92,8 @@ class BatchBeamSearch:
         self.cache = cache or ActionSpaceCache(
             environment, features.relation_embeddings, features.entity_embeddings
         )
-        self._lstm = _BatchedLSTM(agent)
-        self._fusion = _BatchedFusion(agent)
+        self._lstm = BatchedLSTM(agent)
+        self._fusion = BatchedFusion(agent)
         # The fast path requires the stock scoring pipeline; subclasses that
         # reinterpret action scores (e.g. hierarchical policies) go through
         # the agent itself, branch by branch.
@@ -366,7 +188,7 @@ class BatchBeamSearch:
         )
         projected = self.agent.policy.project_batch(fused)
         return [
-            _softmax(matrix @ projected[i])
+            stable_softmax(matrix @ projected[i])
             for i, (_, _, _, matrix) in enumerate(entries)
         ]
 
