@@ -2,8 +2,9 @@
 
 The tier-1 CI job runs the benchmark harness with ``--benchmark-json`` and the
 headline benchmarks record their shipped numbers in ``extra_info`` (serving
-batch speedup, daemon speedup, vectorized-training speedup).  This script
-compares those numbers against the committed ``benchmarks/baseline.json``:
+batch speedup, daemon speedup, vectorized-training speedup, and the
+vectorized-evaluation entity/relation speedups).  This script compares those
+numbers against the committed ``benchmarks/baseline.json``:
 
 * ``--mode warn`` (pull requests): print GitHub ``::warning`` annotations for
   regressions and always exit 0, so PR iteration is never blocked by a noisy

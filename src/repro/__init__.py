@@ -72,7 +72,7 @@ from repro.serve import (
     load_reasoner,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Reasoner",

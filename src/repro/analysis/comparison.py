@@ -18,9 +18,10 @@ import numpy as np
 
 from repro.analysis.bootstrap import paired_bootstrap_test, sign_test
 from repro.core.config import EvaluationConfig
+from repro.core.evaluator import beam_search_results
 from repro.kg.graph import KnowledgeGraph, Triple
 from repro.rl.environment import MKGEnvironment, Query
-from repro.rl.rollout import ReasoningAgent, beam_search
+from repro.rl.rollout import ReasoningAgent
 from repro.utils.rng import SeedLike, new_rng
 
 
@@ -34,16 +35,16 @@ def per_query_reciprocal_ranks(
     """Reciprocal rank of the gold answer for every query, in input order.
 
     Uses the same filtered beam-search protocol as
-    :func:`repro.core.evaluator.evaluate_entity_prediction`, but returns the
-    raw per-query values instead of their mean, which is what paired
-    significance testing needs.
+    :func:`repro.core.evaluator.evaluate_entity_prediction` — including its
+    vectorized lockstep fast path — but returns the raw per-query values
+    instead of their mean, which is what paired significance testing needs.
     """
     config = config or EvaluationConfig()
     filter_graph = filter_graph or environment.graph
+    queries = [Query(t.head, t.relation, t.tail) for t in triples]
+    searches = beam_search_results(agent, environment, queries, config)
     ranks: List[float] = []
-    for triple in triples:
-        query = Query(triple.head, triple.relation, triple.tail)
-        search = beam_search(agent, environment, query, beam_width=config.beam_width)
+    for triple, search in zip(triples, searches):
         other_answers = filter_graph.tails_for(triple.head, triple.relation) - {triple.tail}
         rank = search.rank_of(triple.tail, filtered_out=other_answers)
         ranks.append(1.0 / rank)

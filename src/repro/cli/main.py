@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -91,6 +92,11 @@ def cmd_train(args: argparse.Namespace) -> int:
     result = pipeline.run(
         evaluate_relations=args.relations,
         vectorized=False if args.scalar_rollouts else None,
+        # Runtime-only, like --scalar-rollouts: a checkpoint written below
+        # must not persist the debug flag into its preset.
+        evaluation=(
+            replace(preset.evaluation, vectorized=False) if args.scalar_eval else None
+        ),
     )
     _print_metrics(f"{ablation.value} on {args.dataset} — entity link prediction", result.entity_metrics)
     if args.relations:
@@ -103,7 +109,10 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     pipeline = load_checkpoint(args.checkpoint)
-    metrics = pipeline.evaluate()
+    config = pipeline.preset.evaluation
+    if args.scalar_eval:
+        config = replace(config, vectorized=False)
+    metrics = pipeline.evaluate(config=config)
     _print_metrics("entity link prediction", metrics)
     if args.csv:
         save_metrics_csv({"checkpoint": metrics}, args.csv, label="model")
@@ -316,6 +325,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_baselines(args: argparse.Namespace) -> int:
     preset = _resolve_preset(args)
+    if args.scalar_eval:
+        # Nothing is persisted here, so overriding the preset copy is safe.
+        preset = preset.with_overrides(
+            evaluation=replace(preset.evaluation, vectorized=False)
+        )
     dataset = build_named_dataset(args.dataset, scale=args.scale, seed=args.seed)
     names = args.models.split(",") if args.models else available_baselines()
     results = {}
@@ -337,6 +351,15 @@ def _add_common_dataset_arguments(parser: argparse.ArgumentParser) -> None:
         "--scale", type=float, default=0.5, help="dataset scale factor (default 0.5)"
     )
     parser.add_argument("--seed", type=int, default=7, help="random seed (default 7)")
+
+
+def _add_scalar_eval_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scalar-eval",
+        action="store_true",
+        help="run evaluation beam searches one query at a time instead of the "
+        "vectorized lockstep engine (slower; for debugging/comparison)",
+    )
 
 
 def _add_preset_arguments(parser: argparse.ArgumentParser) -> None:
@@ -388,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sample REINFORCE episodes one query at a time instead of the "
         "vectorized lockstep engine (slower; for debugging/comparison)",
     )
+    _add_scalar_eval_argument(train)
     _add_common_dataset_arguments(train)
     _add_preset_arguments(train)
     train.set_defaults(handler=cmd_train)
@@ -396,6 +420,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint")
     evaluate.add_argument("--checkpoint", required=True)
     evaluate.add_argument("--csv", type=str, default=None, help="write metrics to this CSV file")
+    _add_scalar_eval_argument(evaluate)
     evaluate.set_defaults(handler=cmd_evaluate)
 
     # query -----------------------------------------------------------------
@@ -479,6 +504,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated baseline names (default MTRL,MINERVA,RLH; empty = all)",
     )
     baselines.add_argument("--csv", type=str, default=None, help="write metrics to this CSV file")
+    _add_scalar_eval_argument(baselines)
     _add_common_dataset_arguments(baselines)
     _add_preset_arguments(baselines)
     baselines.set_defaults(handler=cmd_baselines)

@@ -9,6 +9,7 @@ from repro.core.config import (
 )
 from repro.core.model import MMKGRAgent
 from repro.core.evaluator import (
+    beam_search_results,
     evaluate_entity_prediction,
     evaluate_relation_prediction,
     hop_distribution,
@@ -24,6 +25,7 @@ __all__ = [
     "fast_preset",
     "paper_preset",
     "MMKGRAgent",
+    "beam_search_results",
     "evaluate_entity_prediction",
     "evaluate_relation_prediction",
     "hop_distribution",

@@ -5,6 +5,12 @@ the benchmark harness (and the examples) can print them in the paper's
 layout.  The runner is deliberately stateless apart from a dataset cache; all
 scale knobs live in the :class:`ExperimentPreset` so that tests, benches and
 full runs only differ in the preset they pass.
+
+The evaluation protocols behind Tables III/IV and Figs. 6-7 walk their test
+queries in lockstep through the vectorized batched beam-search engine
+(``preset.evaluation.vectorized``, default True; see
+:mod:`repro.core.evaluator`), so regenerating the tables is no longer
+dominated by per-query beam-search dispatch.
 """
 
 from __future__ import annotations

@@ -243,16 +243,23 @@ class MMKGRPipeline:
         test_triples: Optional[Sequence[Triple]] = None,
         verbose: bool = False,
         vectorized: Optional[bool] = None,
+        evaluation: Optional[EvaluationConfig] = None,
     ) -> PipelineResult:
-        """Full pipeline: pretrain, train, and evaluate on the test split."""
+        """Full pipeline: pretrain, train, and evaluate on the test split.
+
+        ``evaluation`` overrides ``preset.evaluation`` for this run only
+        (e.g. the CLI's ``--scalar-eval``), without touching the preset a
+        later checkpoint would persist.
+        """
         history = self.train(verbose=verbose, vectorized=vectorized)
         test = list(test_triples) if test_triples is not None else self.dataset.splits.test
+        evaluation = evaluation or self.preset.evaluation
         entity_metrics = evaluate_entity_prediction(
             self.agent,
             self.environment,
             test,
             filter_graph=self.dataset.graph,
-            config=self.preset.evaluation,
+            config=evaluation,
             rng=self.rng,
         )
         relation_metrics: Dict[str, float] = {}
@@ -261,7 +268,7 @@ class MMKGRPipeline:
                 self.agent,
                 self.environment,
                 test,
-                config=self.preset.evaluation,
+                config=evaluation,
                 rng=self.rng,
             )
         if verbose:
@@ -295,13 +302,19 @@ class MMKGRPipeline:
         )
 
     def hop_distribution(self, max_hops: int = 4) -> Dict[str, float]:
-        """Hop distribution of successfully answered test queries (Figs. 6-7)."""
+        """Hop distribution of successfully answered test queries (Figs. 6-7).
+
+        Success uses the same filtered protocol (and the same full-graph
+        filter) as :meth:`evaluate`'s Hits@1, so the distribution covers the
+        same solved-query set as Table III.
+        """
         if self.agent is None:
             raise RuntimeError("the pipeline has not been trained yet")
         return hop_distribution(
             self.agent,
             self.environment,
             self.dataset.splits.test,
+            filter_graph=self.dataset.graph,
             config=self.preset.evaluation,
             max_hops=max_hops,
             rng=self.rng,

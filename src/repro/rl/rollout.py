@@ -96,18 +96,35 @@ class BeamSearchResult:
     num_entities: int = 0
 
     def ranked_entities(self) -> List[Tuple[int, float]]:
-        """Entities sorted by accumulated log-probability (best first)."""
-        return sorted(self.entity_log_probs.items(), key=lambda kv: kv[1], reverse=True)
+        """Entities sorted by accumulated log-probability (best first).
+
+        Equal scores are broken by ascending entity id, so the ranking (and
+        every metric derived from it) is a pure function of the scores —
+        independent of dict insertion order, and therefore identical whether
+        the beam was produced by the scalar :func:`beam_search` or the
+        vectorized :class:`~repro.serve.engine.BatchBeamSearch`.
+        """
+        return sorted(self.entity_log_probs.items(), key=lambda kv: (-kv[1], kv[0]))
 
     def rank_of(self, entity: int, filtered_out: Optional[Sequence[int]] = None) -> int:
         """1-based rank of ``entity`` among reached candidates.
 
-        Entities in ``filtered_out`` (other known correct answers) are ignored.
-        When the entity was not reached at all, a path-based reasoner cannot
-        score it, so the expected rank among the unreached entities is
-        returned: ``len(candidates) + (remaining entities) / 2`` — the
-        convention keeps MRR/Hits comparable with models that rank the full
-        entity set.
+        Entities in ``filtered_out`` (other known correct answers) are
+        ignored; ties between reached candidates are broken by ascending
+        entity id (see :meth:`ranked_entities`).
+
+        **Unreached-rank convention.**  A path-based reasoner assigns no
+        score to entities its beam never reached, so when ``entity`` is
+        unreached its rank cannot be read off the ranking.  Instead the
+        *expected* rank under a uniform shuffle of the unreached pool is
+        returned: the candidate sits, on average, in the middle of the
+        ``remaining = num_entities - len(candidates) - len(filtered_out)``
+        unreached entities, giving ``len(candidates) + max(1, remaining // 2)``
+        (floor division; the ``max`` keeps the rank strictly below any
+        reached candidate's even on tiny graphs).  This keeps MRR/Hits
+        comparable with models that score the full entity set, instead of
+        the optimistic ``len(candidates) + 1`` (treating a miss as "next in
+        line") or the pessimistic ``num_entities`` (treating it as last).
         """
         excluded = set(filtered_out or ()) - {entity}
         candidates = [(e, s) for e, s in self.ranked_entities() if e not in excluded]

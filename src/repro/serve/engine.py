@@ -88,10 +88,7 @@ class BatchBeamSearch:
         self.agent = agent
         self.environment = environment
         self.beam_width = beam_width
-        features = agent.features
-        self.cache = cache or ActionSpaceCache(
-            environment, features.relation_embeddings, features.entity_embeddings
-        )
+        self.cache = cache or self.build_cache(agent, environment)
         self._lstm = BatchedLSTM(agent)
         self._fusion = BatchedFusion(agent)
         # The fast path requires the stock scoring pipeline; subclasses that
@@ -101,6 +98,49 @@ class BatchBeamSearch:
             type(agent).action_log_probs is MMKGRAgent.action_log_probs
             and isinstance(agent.policy, PolicyNetwork)
             and self._fusion.supported
+        )
+
+    @staticmethod
+    def build_cache(
+        agent: MMKGRAgent, environment: MKGEnvironment, maxsize: int = 4096
+    ) -> ActionSpaceCache:
+        """The action-space cache an engine over ``agent`` would use.
+
+        The single place that knows which embeddings back the cached
+        ``[relation ; entity]`` action matrices; evaluation and the serving
+        reasoner build shared caches through it.
+        """
+        features = agent.features
+        return ActionSpaceCache(
+            environment,
+            features.relation_embeddings,
+            features.entity_embeddings,
+            maxsize=maxsize,
+        )
+
+    @staticmethod
+    def supports(agent) -> bool:
+        """Whether the lockstep engine can drive ``agent`` at all.
+
+        Deliberately broader than ``BatchedRolloutEngine.supports``: an agent
+        overriding ``action_log_probs`` or using an un-vectorized fuser (e.g.
+        the hierarchical RLH baseline) still advances through the engine via
+        per-branch slow-path scoring.  What the engine cannot relax is the
+        episode-state contract — the stock feature store, the
+        ``(hidden, cell)`` LSTM snapshot layout, and the stock episode
+        bookkeeping it re-implements in lockstep.  Protocol-only agents fail
+        this check and must go through the scalar
+        :func:`repro.rl.rollout.beam_search` instead.
+        """
+        from repro.rl.history import PathHistoryEncoder
+
+        return (
+            isinstance(agent, MMKGRAgent)
+            and isinstance(getattr(agent, "history_encoder", None), PathHistoryEncoder)
+            and type(agent).begin_episode is MMKGRAgent.begin_episode
+            and type(agent).observe_step is MMKGRAgent.observe_step
+            and type(agent).snapshot is MMKGRAgent.snapshot
+            and type(agent).restore is MMKGRAgent.restore
         )
 
     # ---------------------------------------------------------------- helpers

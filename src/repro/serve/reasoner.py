@@ -170,11 +170,8 @@ class Reasoner:
         if self._engine is None:
             pipeline = self._require_fitted()
             width = self.beam_width or pipeline.preset.evaluation.beam_width
-            self._cache = ActionSpaceCache(
-                pipeline.environment,
-                pipeline.features.relation_embeddings,
-                pipeline.features.entity_embeddings,
-                maxsize=self.cache_size,
+            self._cache = BatchBeamSearch.build_cache(
+                pipeline.agent, pipeline.environment, maxsize=self.cache_size
             )
             self._engine = BatchBeamSearch(
                 pipeline.agent,
@@ -265,7 +262,12 @@ class Reasoner:
         config: Optional[EvaluationConfig] = None,
         rng: SeedLike = None,
     ) -> Dict[str, float]:
-        """Entity link-prediction metrics via the shared evaluation protocol."""
+        """Entity link-prediction metrics via the shared evaluation protocol.
+
+        Evaluation runs through the same lockstep batched beam search as
+        serving (``EvaluationConfig.vectorized``) and reuses this reasoner's
+        warm action-space cache.
+        """
         pipeline = self._require_fitted()
         return evaluate_entity_prediction(
             pipeline.agent,
@@ -274,6 +276,7 @@ class Reasoner:
             filter_graph=filter_graph or pipeline.dataset.graph,
             config=config or pipeline.preset.evaluation,
             rng=pipeline.rng if rng is None else rng,
+            cache=self.engine.cache,
         )
 
     def relation_metrics(
@@ -289,6 +292,7 @@ class Reasoner:
             test_triples,
             config=config or pipeline.preset.evaluation,
             rng=rng,
+            cache=self.engine.cache,
         )
 
     # ------------------------------------------------------------ persistence

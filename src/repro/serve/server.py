@@ -52,11 +52,24 @@ class QueryRequest:
 
 
 def _percentile(sample: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile over ``sample`` (NumPy's default method).
+
+    The previous nearest-rank variant used ``int(round(...))``, and Python's
+    banker's rounding made small-window percentiles jump between neighbouring
+    samples: the 2-sample p50 snapped to the *lower* sample
+    (``round(0.5) == 0``) while the 4-sample p50 snapped to the upper-middle
+    one (``round(1.5) == 2``).  Interpolating between the two straddling
+    order statistics keeps every window size smooth: one sample returns
+    itself, two samples return their ``fraction``-weighted blend.
+    """
     if not sample:
         return 0.0
     ordered = sorted(sample)
-    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
-    return ordered[index]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * weight
 
 
 @dataclass

@@ -12,7 +12,7 @@ from repro.rl.environment import MKGEnvironment, Query
 from repro.rl.imitation import ImitationConfig, ImitationTrainer, find_demonstration_path
 from repro.rl.reinforce import ReinforceConfig, ReinforceTrainer
 from repro.rl.rewards import ZeroOneReward
-from repro.rl.rollout import beam_search, sample_episode
+from repro.rl.rollout import BeamSearchResult, beam_search, sample_episode
 
 
 @pytest.fixture(scope="module")
@@ -81,6 +81,58 @@ class TestBeamSearch:
         )
         assert result.rank_of(unreached) > len(result.entity_log_probs)
         assert result.score_of(unreached) == float("-inf")
+
+    def test_tied_scores_rank_by_ascending_entity_id(self):
+        # Regression: ties used to be broken by dict insertion order, so the
+        # same beam could rank differently depending on traversal order.
+        result = BeamSearchResult(
+            query=Query(0, 0, 1),
+            entity_log_probs={9: -1.0, 2: -0.5, 7: -1.0, 4: -1.0},
+            entity_hops={9: 1, 2: 1, 7: 2, 4: 2},
+            paths={},
+            num_entities=20,
+        )
+        assert result.ranked_entities() == [(2, -0.5), (4, -1.0), (7, -1.0), (9, -1.0)]
+        assert result.best_entity() == 2
+        assert result.rank_of(4) == 2
+        assert result.rank_of(7) == 3
+        assert result.rank_of(9) == 4
+        # Filtering a tied competitor promotes the remaining ties in id order.
+        assert result.rank_of(7, filtered_out=[4]) == 2
+
+    def test_ranking_is_independent_of_insertion_order(self):
+        scores = {9: -1.0, 2: -0.5, 7: -1.0, 4: -1.0}
+        forward = BeamSearchResult(
+            query=Query(0, 0, 1),
+            entity_log_probs=dict(scores),
+            entity_hops={},
+            paths={},
+            num_entities=20,
+        )
+        reversed_order = BeamSearchResult(
+            query=Query(0, 0, 1),
+            entity_log_probs=dict(reversed(list(scores.items()))),
+            entity_hops={},
+            paths={},
+            num_entities=20,
+        )
+        assert forward.ranked_entities() == reversed_order.ranked_entities()
+        for entity in scores:
+            assert forward.rank_of(entity) == reversed_order.rank_of(entity)
+
+    def test_unreached_rank_follows_expected_rank_convention(self):
+        # rank = len(candidates) + max(1, remaining // 2): the unreached
+        # entity sits in expectation mid-way through the unreached pool.
+        result = BeamSearchResult(
+            query=Query(0, 0, 1),
+            entity_log_probs={2: -0.5, 4: -1.0},
+            entity_hops={},
+            paths={},
+            num_entities=12,
+        )
+        assert result.rank_of(11) == 2 + (12 - 2) // 2
+        # Filtering shrinks both the candidate list and the unreached pool.
+        assert result.rank_of(11, filtered_out=[2]) == 1 + max(1, (12 - 1 - 1) // 2)
 
     def test_invalid_beam_width(self, setup):
         dataset, agent, environment = setup

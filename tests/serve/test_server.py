@@ -117,6 +117,50 @@ class TestStats:
         assert payload["mean_batch_size"] == 0.0
 
 
+class TestPercentile:
+    """Regression tests for the linear-interpolation percentile.
+
+    The previous nearest-rank implementation used ``int(round(...))``, whose
+    banker's rounding made small-window p50/p99 jump between neighbouring
+    samples (round-half-to-even: a 2-sample window reported p50 as the lower
+    sample, a 4-sample window as the upper-middle one).
+    """
+
+    def test_single_sample_window_returns_the_sample(self):
+        from repro.serve.server import _percentile
+
+        for fraction in (0.0, 0.5, 0.99, 1.0):
+            assert _percentile([0.042], fraction) == 0.042
+
+    def test_two_sample_window_interpolates(self):
+        from repro.serve.server import _percentile
+
+        sample = [0.010, 0.020]
+        assert _percentile(sample, 0.50) == pytest.approx(0.015)
+        assert _percentile(sample, 0.99) == pytest.approx(0.0199)
+        assert _percentile(sample, 0.0) == 0.010
+        assert _percentile(sample, 1.0) == 0.020
+
+    def test_hundred_sample_window_matches_numpy(self):
+        import numpy as np
+
+        from repro.serve.server import _percentile
+
+        sample = [float(value) for value in range(1, 101)]
+        for fraction in (0.50, 0.90, 0.99):
+            assert _percentile(sample, fraction) == pytest.approx(
+                float(np.percentile(sample, 100 * fraction))
+            )
+        assert _percentile(sample, 0.50) == pytest.approx(50.5)
+        assert _percentile(sample, 0.99) == pytest.approx(99.01)
+
+    def test_order_independence(self):
+        from repro.serve.server import _percentile
+
+        shuffled = [0.03, 0.01, 0.05, 0.02, 0.04]
+        assert _percentile(shuffled, 0.5) == 0.03
+
+
 class TestHTTPFrontEnd:
     @pytest.fixture()
     def http_server(self, fitted_reasoner):
