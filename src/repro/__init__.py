@@ -27,6 +27,15 @@ Typical usage — train once, query many times::
     reasoner.save("checkpoints/mmkgr")
     restored = load_reasoner("checkpoints/mmkgr")
 
+    # Or publish versioned copies into a registry and serve them all from
+    # one multi-tenant daemon (aliases, hot swap, canary routing).
+    from repro import ModelRegistry, ReasoningServer
+
+    registry = ModelRegistry("registry")
+    version = registry.publish(reasoner, name="mmkgr")
+    registry.promote("mmkgr", "prod", version.version)
+    server = ReasoningServer(registry=registry, default_model="mmkgr@prod")
+
 Batch experiments (tables/figures of the paper) still run through
 :class:`MMKGRPipeline`, :func:`run_baseline`, and :class:`ExperimentRunner`,
 which now sit on top of the same reasoner protocol.
@@ -64,6 +73,8 @@ from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
 from repro.serve import (
     DynamicBatcher,
     EmbeddingReasoner,
+    ModelRegistry,
+    ModelVersion,
     Prediction,
     Reasoner,
     ReasonerProtocol,
@@ -72,7 +83,7 @@ from repro.serve import (
     load_reasoner,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "Reasoner",
@@ -80,6 +91,8 @@ __all__ = [
     "Prediction",
     "EmbeddingReasoner",
     "DynamicBatcher",
+    "ModelRegistry",
+    "ModelVersion",
     "ReasoningServer",
     "ServerStats",
     "load_reasoner",

@@ -22,7 +22,7 @@ from repro.fewshot.evaluation import evaluate_fewshot
 from repro.kg.datasets import DATASET_REGISTRY, build_named_dataset
 from repro.kg.io import write_triples_tsv
 from repro.kg.statistics import describe_dataset, relation_cardinality
-from repro.serve import ReasoningServer
+from repro.serve import ModelRegistry, ReasoningServer
 from repro.utils.tables import format_table
 
 PRESETS = {"fast": fast_preset, "paper": paper_preset}
@@ -292,27 +292,72 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    try:
-        reasoner = _load_serving_reasoner(args.checkpoint)
-    except _INPUT_ERRORS as error:
-        return _input_error(error)
+def _registry_server(args: argparse.Namespace) -> ReasoningServer:
+    """A multi-tenant server hosting every model of ``--registry``.
+
+    Each model is served at its ``prod`` alias when one exists, otherwise at
+    ``latest``; ``--model name[@ref]`` overrides the reference for that model
+    and makes it the default.
+    """
+    registry = ModelRegistry(args.registry)
+    models = registry.list_models()
+    if not models:
+        raise ValueError(f"registry {args.registry} has no published models")
+    default_name = None
+    overrides = {}
+    if args.model:
+        default_name = args.model.partition("@")[0]
+        overrides[default_name] = args.model
+        if default_name not in {m["name"] for m in models}:
+            raise KeyError(f"no model named {default_name!r} in {args.registry}")
     server = ReasoningServer(
-        reasoner,
+        registry=registry,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         num_workers=args.workers,
         default_k=args.k,
     )
+    for model in models:
+        name = model["name"]
+        ref = overrides.get(name) or (
+            f"{name}@prod" if "prod" in model["aliases"] else f"{name}@latest"
+        )
+        server.add_model(ref)
+    server.default_model = default_name or models[0]["name"]
+    return server
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        if args.registry:
+            server = _registry_server(args)
+            serving = ", ".join(
+                model["source"] or model["name"]
+                for model in server.models_dict()["models"]
+            )
+        else:
+            if not args.checkpoint:
+                raise ValueError("pass --checkpoint or --registry")
+            reasoner = _load_serving_reasoner(args.checkpoint)
+            server = ReasoningServer(
+                reasoner,
+                max_batch_size=args.max_batch_size,
+                max_wait_ms=args.max_wait_ms,
+                num_workers=args.workers,
+                default_k=args.k,
+            )
+            serving = getattr(reasoner, "name", "reasoner")
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
     with server:
         if args.stdio:
             failures = server.serve_stdio(sys.stdin, sys.stdout)
             return 1 if failures else 0
         print(
-            f"serving {getattr(reasoner, 'name', 'reasoner')} on "
+            f"serving {serving} (default {server.default_model}) on "
             f"http://{args.host}:{args.port} "
             f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms}, "
-            f"workers={args.workers}); POST /query, GET /stats"
+            f"workers={args.workers}); POST /v1/models/<name>/query, GET /v1/models"
         )
         try:
             server.serve_http(args.host, args.port)
@@ -320,6 +365,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print("shutting down")
         except OSError as error:  # bind failures: port busy, privileged, bad host
             return _input_error(error)
+    return 0
+
+
+# ----------------------------------------------------------- model registry
+def _registry(args: argparse.Namespace) -> ModelRegistry:
+    return ModelRegistry(args.registry)
+
+
+def cmd_models_publish(args: argparse.Namespace) -> int:
+    try:
+        reasoner = _load_serving_reasoner(args.checkpoint)
+        metrics = None
+        if args.metrics:
+            metrics = json.loads(Path(args.metrics).read_text(encoding="utf-8"))
+            if not isinstance(metrics, dict):
+                raise ValueError(f"{args.metrics}: expected a JSON object of metrics")
+        version = _registry(args).publish(
+            reasoner, name=args.name, metrics=metrics, aliases=args.alias or ()
+        )
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    aliases = ["latest", *(args.alias or ())]
+    print(f"published {version.ref} ({', '.join(aliases)}) to {args.registry}")
+    return 0
+
+
+def cmd_models_list(args: argparse.Namespace) -> int:
+    models = _registry(args).list_models()
+    if args.json:
+        print(json.dumps(models, indent=2))
+        return 0
+    rows = [
+        [
+            model["name"],
+            ",".join(str(v) for v in model["versions"]),
+            ", ".join(
+                f"{alias}->{version}"
+                for alias, version in sorted(model["aliases"].items())
+            ),
+        ]
+        for model in models
+    ]
+    print(format_table(["model", "versions", "aliases"], rows, title=f"registry {args.registry}"))
+    return 0
+
+
+def cmd_models_promote(args: argparse.Namespace) -> int:
+    name, _, version = args.model.partition("@")
+    try:
+        target = _registry(args).promote(name, args.alias, version or None)
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    print(f"promoted {target.ref} to {name}@{args.alias}")
+    return 0
+
+
+def cmd_models_show(args: argparse.Namespace) -> int:
+    try:
+        description = _registry(args).describe(args.model)
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    if args.json:
+        print(json.dumps(description, indent=2))
+        return 0
+    rows = [[key, json.dumps(value) if isinstance(value, (dict, list)) else value]
+            for key, value in description.items()]
+    print(format_table(["field", "value"], rows, title=args.model))
     return 0
 
 
@@ -455,7 +567,20 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run the serving daemon: micro-batched HTTP/JSON or JSON-lines stdio",
     )
-    serve.add_argument("--checkpoint", required=True, help="saved reasoner or checkpoint directory")
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument(
+        "--checkpoint", help="saved reasoner or checkpoint directory"
+    )
+    serve_source.add_argument(
+        "--registry",
+        help="model registry root: serve every published model (multi-tenant)",
+    )
+    serve.add_argument(
+        "--model",
+        default=None,
+        help="with --registry: default model as name[@version|@alias] "
+        "(default: each model's prod alias, falling back to latest)",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8977, help="listen port (default 8977)")
     serve.add_argument(
@@ -476,6 +601,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve JSON-lines on stdin/stdout instead of HTTP",
     )
     serve.set_defaults(handler=cmd_serve)
+
+    # models ----------------------------------------------------------------
+    models = subparsers.add_parser(
+        "models", help="publish, list, promote and inspect registry model versions"
+    )
+    models_sub = models.add_subparsers(dest="models_command", required=True)
+
+    publish = models_sub.add_parser(
+        "publish", help="publish a saved reasoner/checkpoint as the next version"
+    )
+    publish.add_argument("--registry", required=True, help="model registry root directory")
+    publish.add_argument(
+        "--checkpoint", required=True, help="saved reasoner or checkpoint directory"
+    )
+    publish.add_argument(
+        "--name", default=None, help="model name (default: the reasoner's own name)"
+    )
+    publish.add_argument(
+        "--alias",
+        action="append",
+        default=None,
+        help="also promote this alias to the new version (repeatable)",
+    )
+    publish.add_argument(
+        "--metrics", default=None, help="JSON file with a metrics snapshot to record"
+    )
+    publish.set_defaults(handler=cmd_models_publish)
+
+    models_list = models_sub.add_parser("list", help="list registered models")
+    models_list.add_argument("--registry", required=True)
+    models_list.add_argument("--json", action="store_true", help="print as JSON")
+    models_list.set_defaults(handler=cmd_models_list)
+
+    promote = models_sub.add_parser(
+        "promote", help="atomically point an alias at a version"
+    )
+    promote.add_argument("--registry", required=True)
+    promote.add_argument(
+        "--model",
+        required=True,
+        help="name[@version|@alias] to promote (bare name = latest)",
+    )
+    promote.add_argument("--alias", required=True, help="alias to move, e.g. prod or canary")
+    promote.set_defaults(handler=cmd_models_promote)
+
+    show = models_sub.add_parser("show", help="show one version's manifest")
+    show.add_argument("--registry", required=True)
+    show.add_argument("--model", required=True, help="name[@version|@alias]")
+    show.add_argument("--json", action="store_true", help="print as JSON")
+    show.set_defaults(handler=cmd_models_show)
 
     # explain ---------------------------------------------------------------
     explain = subparsers.add_parser("explain", help="explain test predictions of a checkpoint")

@@ -50,10 +50,20 @@ class ExperimentRunner:
         dataset_names: Sequence[str] = ("wn9-img-txt", "fb-img-txt"),
         preset: Optional[ExperimentPreset] = None,
         seed: int = 3,
+        registry=None,
     ):
         self.dataset_names = tuple(dataset_names)
         self.preset = preset or fast_preset()
         self.seed = seed
+        # With a registry (a ModelRegistry or its root path), every reasoner
+        # this runner trains is published as `<dataset>.<model>`'s next
+        # version, so table regeneration doubles as a model-release step.
+        if registry is not None:
+            from repro.serve.registry import ModelRegistry
+
+            if not isinstance(registry, ModelRegistry):
+                registry = ModelRegistry(registry)
+        self.registry = registry
         self._datasets: Dict[str, MKGDataset] = {}
         # Trained reasoners keyed by (dataset, model, preset fingerprint) so
         # tables that share a trained model (III and IV) do not retrain it.
@@ -106,6 +116,11 @@ class ExperimentRunner:
                 self._reasoners[key] = fit_baseline(
                     model, dataset, preset=preset, rng=self.seed
                 )
+            if self.registry is not None:
+                published = self.registry.publish(
+                    self._reasoners[key], name=f"{dataset_name}.{model}"
+                )
+                LOGGER.info("published %s", published.ref)
         return self._reasoners[key]
 
     # ----------------------------------------------------------- main tables

@@ -236,6 +236,28 @@ class MMKGRPipeline:
             self, name=name, beam_width=beam_width, cache_size=cache_size
         )
 
+    def publish(
+        self,
+        registry,
+        name: str = "MMKGR",
+        metrics: Optional[Dict[str, float]] = None,
+        beam_width: Optional[int] = None,
+        cache_size: int = 4096,
+    ):
+        """Publish the trained pipeline as the next version of ``name``.
+
+        ``registry`` is a :class:`~repro.serve.registry.ModelRegistry` or a
+        registry root path; ``metrics`` optionally snapshots evaluation
+        numbers into the version manifest.  Returns the published
+        :class:`~repro.serve.registry.ModelVersion`.
+        """
+        from repro.serve.registry import ModelRegistry
+
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        reasoner = self.reasoner(name=name, beam_width=beam_width, cache_size=cache_size)
+        return registry.publish(reasoner, name=name, metrics=metrics)
+
     # -------------------------------------------------------------- end-to-end
     def run(
         self,

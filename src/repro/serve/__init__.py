@@ -17,14 +17,21 @@ introduces the query/serving API the reproduction's north star needs:
 policy/LSTM forward passes are batched across every branch of every query,
 which is why it beats a sequential ``query`` loop on serving traffic.
 
-On top of the reasoners sits the serving daemon:
+On top of the reasoners sits the model registry and the serving daemon:
 
+* :class:`ModelRegistry` / :class:`ModelVersion` — a versioned on-disk store
+  of published reasoners (``publish`` -> immutable ``<name>/<version>/``
+  directories, mutable ``prod``/``canary``/``latest`` aliases with atomic
+  ``promote``, ``resolve("name@alias")`` look-ups);
 * :class:`DynamicBatcher` — coalesces concurrent single queries into
   micro-batches under a ``max_batch_size`` / ``max_wait_ms`` flush policy,
   with per-request futures and error isolation;
-* :class:`ReasoningServer` — a worker pool of reasoner replicas behind the
-  batcher, with stdlib HTTP/JSON and JSON-lines stdio front ends and a
-  :class:`ServerStats` counter block (``GET /stats``).
+* :class:`ReasoningServer` — a multi-tenant router: a :class:`ModelPool` of
+  per-model worker groups (reasoner replicas + batcher each, one shared
+  stats registry), a versioned HTTP surface (``POST /v1/models/<name>/query``,
+  ``GET /v1/models``, per-model ``/stats``) plus the legacy default-model
+  endpoints, hot-swap ``reload()`` that drains in-flight batches, and
+  seeded-RNG canary routing via ``route()``.
 """
 
 from repro.serve.batcher import BatcherClosed, BatchRequest, DynamicBatcher, execute_batch
@@ -35,18 +42,30 @@ from repro.serve.reasoner import (
     EmbeddingReasoner,
     Reasoner,
     RuleReasonerAdapter,
+    dataset_fingerprint,
     load_reasoner,
 )
-from repro.serve.server import QueryRequest, ReasoningServer, ServerStats
+from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.server import (
+    CanaryRoute,
+    ModelPool,
+    QueryRequest,
+    ReasoningServer,
+    ServerStats,
+)
 
 __all__ = [
     "ActionSpaceCache",
     "BatchBeamSearch",
     "BatcherClosed",
     "BatchRequest",
+    "CanaryRoute",
     "DynamicBatcher",
     "EmbeddingReasoner",
     "LRUCache",
+    "ModelPool",
+    "ModelRegistry",
+    "ModelVersion",
     "Prediction",
     "QueryRequest",
     "QuerySpec",
@@ -55,6 +74,7 @@ __all__ = [
     "ReasoningServer",
     "RuleReasonerAdapter",
     "ServerStats",
+    "dataset_fingerprint",
     "execute_batch",
     "load_reasoner",
 ]

@@ -18,6 +18,7 @@ the caller knowing which model produced it.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pickle
 from pathlib import Path
@@ -58,6 +59,62 @@ REASONER_FORMAT_VERSION = 1
 # Serving queries have no gold answer; the sentinel never matches an entity,
 # so answer-edge masking and reward bookkeeping stay inert.
 NO_ANSWER = -1
+
+
+def _repro_version() -> str:
+    """The package version recorded in save manifests (lazy: avoids an import
+    cycle while :mod:`repro`'s own ``__init__`` is still executing)."""
+    import repro
+
+    return getattr(repro, "__version__", "unknown")
+
+
+def dataset_fingerprint(source) -> Optional[str]:
+    """A short stable digest identifying the data a reasoner was trained on.
+
+    Accepts a dataset config (the synthetic datasets are deterministic
+    functions of their config), a full :class:`~repro.kg.datasets.MKGDataset`,
+    or a bare :class:`~repro.kg.graph.KnowledgeGraph` (hashed triple by
+    triple — the embedding reasoners keep a graph but no config).  Returns
+    ``None`` when ``source`` is ``None``.
+    """
+    if source is None:
+        return None
+    config = getattr(source, "config", source)
+    digest = hashlib.sha256()
+    if isinstance(config, KnowledgeGraph):
+        graph = config
+        digest.update(
+            f"graph:{graph.num_entities}:{graph.num_relations}:{graph.num_triples}".encode()
+        )
+        for triple in graph.triples():
+            digest.update(b"%d,%d,%d;" % (triple.head, triple.relation, triple.tail))
+    else:
+        from repro.core.config_io import dataset_config_to_dict
+
+        payload = dataset_config_to_dict(config)
+        digest.update(json.dumps(payload, sort_keys=True, default=str).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _manifest_provenance(
+    dataset_name: Optional[str], fingerprint_source, metrics: Optional[Dict[str, float]]
+) -> dict:
+    """The provenance block shared by both save manifests (PR-5 additions).
+
+    Every field is optional at load time, so PR-1 manifests (which predate
+    the block) keep loading unchanged.
+    """
+    provenance = {
+        "repro_version": _repro_version(),
+        "dataset": {
+            "name": dataset_name,
+            "fingerprint": dataset_fingerprint(fingerprint_source),
+        },
+    }
+    if metrics is not None:
+        provenance["metrics"] = {key: float(value) for key, value in metrics.items()}
+    return provenance
 
 
 class Reasoner:
@@ -296,8 +353,12 @@ class Reasoner:
         )
 
     # ------------------------------------------------------------ persistence
-    def save(self, path: PathLike) -> Path:
-        """Persist to ``path`` on top of the pipeline checkpoint format."""
+    def save(self, path: PathLike, metrics: Optional[Dict[str, float]] = None) -> Path:
+        """Persist to ``path`` on top of the pipeline checkpoint format.
+
+        ``metrics`` optionally snapshots evaluation numbers into the manifest
+        (the model registry surfaces them when listing published versions).
+        """
         pipeline = self._require_fitted()
         directory = save_checkpoint(pipeline, path)
         environment = pipeline.environment
@@ -310,6 +371,9 @@ class Reasoner:
             "agent_class": type(pipeline.agent).__name__,
             "environment_class": type(environment).__name__,
             "prune_to": getattr(environment, "prune_to", None),
+            **_manifest_provenance(
+                pipeline.dataset.config.name, pipeline.dataset.config, metrics
+            ),
         }
         (directory / REASONER_FILE).write_text(
             json.dumps(manifest, indent=2), encoding="utf-8"
@@ -473,14 +537,17 @@ class EmbeddingReasoner:
         )
 
     # ------------------------------------------------------------ persistence
-    def save(self, path: PathLike) -> Path:
+    def save(self, path: PathLike, metrics: Optional[Dict[str, float]] = None) -> Path:
         model = self._require_model()  # fail before touching the directory
         directory = Path(path)
         directory.mkdir(parents=True, exist_ok=True)
+        # No dataset config survives fitting, so the fingerprint hashes the
+        # graph the model scores over instead.
         manifest = {
             "format_version": REASONER_FORMAT_VERSION,
             "reasoner_type": self.reasoner_type,
             "name": self.name,
+            **_manifest_provenance(None, self.filter_graph or model.graph, metrics),
         }
         (directory / REASONER_FILE).write_text(
             json.dumps(manifest, indent=2), encoding="utf-8"

@@ -1,0 +1,311 @@
+"""The model registry: a versioned, multi-tenant store of published reasoners.
+
+The serving story so far stopped at ``Reasoner.save(some_directory)`` — one
+ad-hoc directory per model, no versioning, no way to say "serve whatever is
+in production right now".  :class:`ModelRegistry` supplies the missing
+train-once/query-many bookkeeping:
+
+* ``publish(reasoner)`` writes an **immutable version** — a monotonically
+  numbered directory ``<root>/<name>/<version>/`` holding the ordinary
+  reasoner save plus a ``version.json`` manifest (package version, dataset
+  name/fingerprint, optional metrics snapshot, publication time);
+* **aliases** (``prod``, ``canary``, ``latest``, ...) are mutable pointers
+  from a name to a version, updated atomically by :meth:`promote` (write
+  temp file + ``os.replace``), so "what serves production" flips in one
+  filesystem operation;
+* ``resolve("name")``, ``resolve("name@3")`` and ``resolve("name@prod")``
+  all return a :class:`ModelVersion`, whose :meth:`~ModelVersion.load`
+  restores the reasoner via :func:`~repro.serve.reasoner.load_reasoner`.
+
+On-disk layout::
+
+    <root>/
+      mmkgr/
+        1/              # immutable: reasoner save + version.json
+        2/
+        aliases.json    # mutable: {"latest": 2, "prod": 1, "canary": 2}
+      minerva/
+        ...
+
+Versions are never rewritten after publication; deleting one by hand is the
+operator's prerogative, the registry only ever appends.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import re
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.serve.reasoner import REASONER_FILE, load_reasoner
+from repro.utils.rng import SeedLike
+
+PathLike = Union[str, Path]
+
+VERSION_FILE = "version.json"
+ALIASES_FILE = "aliases.json"
+
+# `latest` is maintained by publish() itself; promoting it by hand would turn
+# an invariant ("latest == highest version") into a lie.
+RESERVED_ALIASES = ("latest",)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+__all__ = ["ModelRegistry", "ModelVersion", "VERSION_FILE", "ALIASES_FILE"]
+
+
+@dataclass(frozen=True)
+class ModelVersion:
+    """One immutable published version: where it lives and what it records."""
+
+    name: str
+    version: int
+    path: Path
+    manifest: Dict[str, Any] = field(compare=False)
+
+    @property
+    def ref(self) -> str:
+        """The canonical ``name@version`` reference of this version."""
+        return f"{self.name}@{self.version}"
+
+    @property
+    def metrics(self) -> Dict[str, float]:
+        return dict(self.manifest.get("metrics") or {})
+
+    def load(self, rng: SeedLike = None):
+        """Restore the published reasoner (any family) from this version."""
+        return load_reasoner(self.path, rng=rng)
+
+
+def _validate_name(name: str, kind: str = "model name") -> str:
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid {kind} {name!r}: use letters, digits, '.', '_' or '-' "
+            "(no '@' or path separators)"
+        )
+    return name
+
+
+def _validate_alias(alias: str) -> str:
+    _validate_name(alias, kind="alias")
+    if alias.isdigit():
+        raise ValueError(f"alias {alias!r} would shadow a version number")
+    return alias
+
+
+class ModelRegistry:
+    """A versioned on-disk store of published reasoners under one root.
+
+    The registry is append-only for versions and atomic for aliases; one
+    registry can back any number of serving daemons, which resolve
+    ``name@alias`` references at (re)load time.
+    """
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"ModelRegistry({str(self.root)!r})"
+
+    # ------------------------------------------------------------- publishing
+    def publish(
+        self,
+        reasoner,
+        name: Optional[str] = None,
+        metrics: Optional[Dict[str, float]] = None,
+        aliases: Sequence[str] = (),
+    ) -> ModelVersion:
+        """Save ``reasoner`` as the next version of ``name`` and return it.
+
+        The version directory appears atomically (the save lands in a hidden
+        staging directory first, then one rename publishes it), ``latest``
+        always moves to the new version, and any extra ``aliases`` are
+        promoted to it in the same call.
+        """
+        name = _validate_name(name or getattr(reasoner, "name", None) or "model")
+        for alias in aliases:
+            _validate_alias(alias)
+            if alias in RESERVED_ALIASES:
+                raise ValueError(f"alias {alias!r} is managed by the registry")
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+
+        version = self._next_version(name)
+        # mkdtemp: every publisher (thread or process) stages in its own
+        # unique hidden directory; only the final rename races, and that
+        # race is resolved by the retry loop below.
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".staging-{os.getpid()}-", dir=model_dir)
+        )
+        try:
+            reasoner.save(staging, metrics=metrics)
+            saved = json.loads((staging / REASONER_FILE).read_text(encoding="utf-8"))
+            manifest = {
+                "name": name,
+                "version": version,
+                "published_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                "repro_version": saved.get("repro_version"),
+                "reasoner_type": saved.get("reasoner_type"),
+                "dataset": saved.get("dataset"),
+                "metrics": saved.get("metrics"),
+            }
+            # Claim a version number by renaming the staging directory into
+            # place; os.rename refuses to overwrite a non-empty directory, so
+            # losing the race to a concurrent publisher surfaces as an OSError
+            # and we retry with the next free number instead of clobbering
+            # (or discarding) a completed save.
+            while True:
+                (staging / VERSION_FILE).write_text(
+                    json.dumps(manifest, indent=2), encoding="utf-8"
+                )
+                final = model_dir / str(version)
+                try:
+                    if final.exists():
+                        raise FileExistsError(final)
+                    os.rename(staging, final)
+                    break
+                except OSError:
+                    if not final.exists():
+                        raise  # a real rename failure, not a lost race
+                    version = max(self._next_version(name), version + 1)
+                    manifest["version"] = version
+        except Exception:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        self._write_aliases(
+            name, {**self.aliases(name), "latest": version, **{a: version for a in aliases}}
+        )
+        return ModelVersion(name=name, version=version, path=final, manifest=manifest)
+
+    def _next_version(self, name: str) -> int:
+        return max(self._version_numbers(name), default=0) + 1
+
+    def _version_numbers(self, name: str) -> List[int]:
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        return sorted(
+            int(entry.name)
+            for entry in model_dir.iterdir()
+            if entry.is_dir() and entry.name.isdigit()
+        )
+
+    # -------------------------------------------------------------- resolving
+    def resolve(self, ref: str) -> ModelVersion:
+        """``name``, ``name@<version>`` or ``name@<alias>`` -> :class:`ModelVersion`.
+
+        A bare ``name`` resolves to ``latest``.  Unknown names and aliases
+        raise :class:`KeyError`; a version number that was never published
+        raises too.
+        """
+        name, _, selector = str(ref).partition("@")
+        _validate_name(name)
+        versions = self._version_numbers(name)
+        if not versions:
+            known = ", ".join(sorted(m["name"] for m in self.list_models())) or "(none)"
+            raise KeyError(f"no model named {name!r} in {self.root} (known: {known})")
+        if not selector or selector == "latest":
+            version = versions[-1]
+        elif selector.isdigit():
+            version = int(selector)
+            if version not in versions:
+                raise KeyError(f"{name!r} has no version {version} (published: {versions})")
+        else:
+            aliases = self.aliases(name)
+            if selector not in aliases:
+                known = ", ".join(sorted(aliases)) or "(none)"
+                raise KeyError(f"{name!r} has no alias {selector!r} (known: {known})")
+            version = aliases[selector]
+        return self._version(name, version)
+
+    def load(self, ref: str, rng: SeedLike = None):
+        """Resolve ``ref`` and restore the published reasoner."""
+        return self.resolve(ref).load(rng=rng)
+
+    def _version(self, name: str, version: int) -> ModelVersion:
+        path = self.root / name / str(version)
+        manifest_path = path / VERSION_FILE
+        if not manifest_path.exists():
+            raise KeyError(f"{name}@{version} is missing its {VERSION_FILE}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        return ModelVersion(name=name, version=version, path=path, manifest=manifest)
+
+    # ---------------------------------------------------------------- aliases
+    def aliases(self, name: str) -> Dict[str, int]:
+        """The mutable alias -> version map of ``name`` (may be empty)."""
+        path = self.root / name / ALIASES_FILE
+        if not path.exists():
+            return {}
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        return {alias: int(version) for alias, version in payload.items()}
+
+    def promote(self, name: str, alias: str, version: Optional[Union[int, str]] = None) -> ModelVersion:
+        """Atomically point ``name@alias`` at ``version`` (default: latest).
+
+        ``version`` may be an integer, a digit string, or another alias to
+        copy from.  The alias file is replaced via ``os.replace`` so readers
+        never observe a half-written map.
+        """
+        _validate_alias(alias)
+        if alias in RESERVED_ALIASES:
+            raise ValueError(f"alias {alias!r} is managed by the registry")
+        selector = "latest" if version is None else str(version)
+        target = self.resolve(f"{name}@{selector}")
+        self._write_aliases(name, {**self.aliases(name), alias: target.version})
+        return target
+
+    def _write_aliases(self, name: str, aliases: Dict[str, int]) -> None:
+        path = self.root / name / ALIASES_FILE
+        # A unique temp file per writer: concurrent promotes must never share
+        # (and steal) each other's staging file; last os.replace wins whole.
+        descriptor, temp = tempfile.mkstemp(
+            prefix=ALIASES_FILE + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(aliases, indent=2, sort_keys=True))
+            os.replace(temp, path)
+        except Exception:
+            with contextlib.suppress(OSError):
+                os.unlink(temp)
+            raise
+
+    # ---------------------------------------------------------------- listing
+    def list_models(self) -> List[Dict[str, Any]]:
+        """One summary row per registered model, sorted by name."""
+        rows = []
+        if not self.root.is_dir():
+            return rows
+        for entry in sorted(self.root.iterdir()):
+            if not entry.is_dir() or entry.name.startswith("."):
+                continue
+            versions = self._version_numbers(entry.name)
+            if not versions:
+                continue
+            rows.append(
+                {
+                    "name": entry.name,
+                    "versions": versions,
+                    "latest": versions[-1],
+                    "aliases": self.aliases(entry.name),
+                }
+            )
+        return rows
+
+    def describe(self, ref: str) -> Dict[str, Any]:
+        """The full manifest of ``ref`` plus every alias pointing at it."""
+        resolved = self.resolve(ref)
+        pointing = sorted(
+            alias
+            for alias, version in self.aliases(resolved.name).items()
+            if version == resolved.version
+        )
+        return {**resolved.manifest, "aliases": pointing, "path": str(resolved.path)}

@@ -1,22 +1,31 @@
-"""The serving daemon: a micro-batching front end over the Reasoner API.
+"""The serving daemon: a multi-tenant, micro-batching front end over reasoners.
 
-:class:`ReasoningServer` owns a :class:`~repro.serve.batcher.DynamicBatcher`
-and a pool of worker threads, each holding its own reasoner replica (same
-trained pipeline, same shared LRU action-space caches, private beam-search
-engine).  Concurrent single queries coalesce into micro-batches that run
-through ``query_batch``'s vectorized lockstep beam search, which is what
-turns the engine's batch speedup into a throughput win under realistic
-traffic.
+:class:`ReasoningServer` routes requests to a :class:`ModelPool` of hosted
+models.  Each hosted model owns its own worker group — a
+:class:`~repro.serve.batcher.DynamicBatcher` plus worker threads holding
+reasoner replicas (same trained pipeline, same shared LRU action-space
+caches, private beam-search engine) — while all groups share one stats
+registry, so per-model counters survive hot swaps.
 
-Two front ends ship with the daemon:
+One daemon can therefore serve every published model of a
+:class:`~repro.serve.registry.ModelRegistry` at once:
 
-* :meth:`ReasoningServer.serve_http` — a stdlib-only HTTP/JSON endpoint
-  (``POST /query``, ``GET /stats``, ``GET /healthz``);
-* :meth:`ReasoningServer.serve_stdio` — a JSON-lines mode for piping
-  (one query object per input line, one result object per output line).
+* versioned HTTP surface — ``POST /v1/models/<name>/query``,
+  ``GET /v1/models`` (listing), ``GET /v1/models/<name>/stats`` — with the
+  PR-2 endpoints (``POST /query``, ``GET /stats``, ``GET /healthz``) kept as
+  aliases for the default model;
+* **hot swap** — :meth:`ReasoningServer.reload` re-resolves a model's
+  registry reference (so a ``promote()`` of the ``prod`` alias takes effect
+  live), switches routing to a fresh worker group, then drains the old
+  group's in-flight batches: no request is ever dropped mid-swap;
+* **canary routing** — :meth:`ReasoningServer.route` sends a configured
+  fraction of one model's traffic to a canary model, drawn from a seeded RNG
+  so a replayed request sequence splits identically.
 
-Both submit into the same batcher, so HTTP traffic and in-process
-:meth:`~ReasoningServer.submit` callers batch together.
+Both front ends (:meth:`~ReasoningServer.serve_http` HTTP/JSON and
+:meth:`~ReasoningServer.serve_stdio` JSON-lines) submit into the same pool,
+so HTTP traffic and in-process :meth:`~ReasoningServer.submit` callers batch
+together per model.
 """
 
 from __future__ import annotations
@@ -28,12 +37,21 @@ from collections import defaultdict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Deque, Dict, IO, List, Optional, Sequence
+from typing import Any, Deque, Dict, IO, List, Optional, Sequence, Union
+from urllib.parse import unquote
 
-from repro.serve.batcher import BatchRequest, DynamicBatcher, execute_batch
+from repro.serve.batcher import BatcherClosed, BatchRequest, DynamicBatcher, execute_batch
 from repro.serve.protocol import EntityLike, Prediction, RelationLike
+from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.utils.rng import new_rng
 
-__all__ = ["QueryRequest", "ReasoningServer", "ServerStats"]
+__all__ = [
+    "CanaryRoute",
+    "ModelPool",
+    "QueryRequest",
+    "ReasoningServer",
+    "ServerStats",
+]
 
 # Errors a malformed query raises at resolve time; reported to the client as
 # a request failure, never as a server crash.
@@ -74,7 +92,7 @@ def _percentile(sample: Sequence[float], fraction: float) -> float:
 
 @dataclass
 class ServerStats:
-    """Running counters of the serving daemon, exposed via ``GET /stats``.
+    """Running counters of one hosted model, exposed via the stats endpoints.
 
     Latency percentiles are computed over a sliding window of the most
     recent :data:`_LATENCY_WINDOW` requests (queueing + execution time).
@@ -134,78 +152,68 @@ class ServerStats:
         }
 
 
-class ReasoningServer:
-    """Worker pool + dynamic batcher in front of a trained reasoner.
+@dataclass(frozen=True)
+class CanaryRoute:
+    """A weighted traffic split: ``fraction`` of a model's requests go to ``canary``."""
 
-    Each worker serves micro-batches on its own reasoner replica
-    (:meth:`~repro.serve.reasoner.Reasoner.replicate` shares the trained
-    pipeline and the LRU action-space caches, so replicas stay cheap and
-    cache-warm); reasoners without ``replicate`` — the closed-form embedding
-    family, whose queries are read-only — are shared directly.
+    canary: str
+    fraction: float
+
+
+class _ModelEntry:
+    """One hosted model: its reasoner replicas, batcher, and worker threads.
+
+    Entries are immutable once started; a hot swap builds a fresh entry and
+    retires the old one.  ``stats`` is the pool's shared per-name counter
+    block, so a swapped-in entry keeps accumulating into the same history.
     """
 
     def __init__(
         self,
+        name: str,
         reasoner,
-        max_batch_size: int = 16,
-        max_wait_ms: float = 5.0,
-        num_workers: int = 1,
-        default_k: int = 10,
+        stats: ServerStats,
+        max_batch_size: int,
+        max_wait_ms: float,
+        num_workers: int,
+        version: Optional[int] = None,
+        source: Optional[str] = None,
     ):
-        if num_workers < 1:
-            raise ValueError("num_workers must be >= 1")
-        if default_k < 1:
-            raise ValueError("default_k must be >= 1")
+        self.name = name
         self.reasoner = reasoner
-        self.default_k = default_k
+        self.stats = stats
+        self.version = version
+        self.source = source
         self.batcher = DynamicBatcher(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms)
-        self.stats = ServerStats()
         self._replicas = [reasoner]
         for _ in range(num_workers - 1):
             replicate = getattr(reasoner, "replicate", None)
             self._replicas.append(replicate() if callable(replicate) else reasoner)
         self._threads: List[threading.Thread] = []
-        self._started = False
 
     # ------------------------------------------------------------------ lifecycle
-    def start(self) -> "ReasoningServer":
-        """Launch the worker pool (idempotent)."""
-        if self._started:
-            return self
-        self._started = True
+    def start(self) -> None:
+        if self._threads:
+            return
         for index, replica in enumerate(self._replicas):
             thread = threading.Thread(
                 target=self._worker_loop,
                 args=(replica,),
-                name=f"mmkgr-serve-worker-{index}",
+                name=f"mmkgr-serve-{self.name}-{index}",
                 daemon=True,
             )
             thread.start()
             self._threads.append(thread)
-        return self
 
     def close(self) -> None:
-        """Stop accepting work and wait for queued requests to drain."""
+        """Stop accepting work and drain: queued requests still get answers."""
         self.batcher.close()
         for thread in self._threads:
             thread.join()
         self._threads = []
-        self._started = False
-
-    def __enter__(self) -> "ReasoningServer":
-        return self.start()
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
 
     # ------------------------------------------------------------------- serving
-    def submit(
-        self, head: EntityLike, relation: RelationLike, k: Optional[int] = None
-    ) -> "Future[List[Prediction]]":
-        """Queue one query; the returned future resolves to its predictions."""
-        if not self._started:
-            raise RuntimeError("the server is not running; call start() first")
-        payload = QueryRequest(head, relation, k if k is not None else self.default_k)
+    def submit(self, payload: QueryRequest) -> "Future[List[Prediction]]":
         submitted = time.monotonic()
         future = self.batcher.submit(payload)
 
@@ -216,14 +224,11 @@ class ReasoningServer:
         future.add_done_callback(_record)
         return future
 
-    def query(
-        self, head: EntityLike, relation: RelationLike, k: Optional[int] = None
-    ) -> List[Prediction]:
-        """Blocking convenience wrapper around :meth:`submit`."""
-        return self.submit(head, relation, k=k).result()
-
     def stats_dict(self) -> dict:
         payload = self.stats.to_dict(queue_depth=self.batcher.depth)
+        payload["model"] = self.name
+        if self.version is not None:
+            payload["version"] = self.version
         cache_stats = getattr(self.reasoner, "cache_stats", None)
         if callable(cache_stats):
             payload["cache"] = cache_stats()
@@ -253,6 +258,364 @@ class ReasoningServer:
                 lambda payload, k=k: replica.query(payload.head, payload.relation, k=k),
             )
 
+
+class ModelPool:
+    """Named per-model worker groups behind one shared stats registry.
+
+    Routing reads and entry swaps synchronise on one lock; the swap replaces
+    the routing entry first and drains the retired worker group *outside*
+    the lock, so new traffic flows to the new replicas while old batches
+    finish on the old ones.
+    """
+
+    def __init__(self, max_batch_size: int = 16, max_wait_ms: float = 5.0, num_workers: int = 1):
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self.num_workers = num_workers
+        self._entries: Dict[str, _ModelEntry] = {}
+        self._stats: Dict[str, ServerStats] = {}
+        self._lock = threading.RLock()
+        self._started = False
+
+    # ------------------------------------------------------------------ access
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def entry(self, name: str) -> _ModelEntry:
+        with self._lock:
+            try:
+                return self._entries[name]
+            except KeyError:
+                known = ", ".join(sorted(self._entries)) or "(none)"
+                raise KeyError(f"no hosted model {name!r} (hosted: {known})") from None
+
+    def stats_for(self, name: str) -> ServerStats:
+        """The shared (swap-surviving) counter block of ``name``."""
+        return self.entry(name).stats
+
+    # ---------------------------------------------------------------- mutation
+    def add(
+        self,
+        name: str,
+        reasoner,
+        version: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> _ModelEntry:
+        with self._lock:
+            if name in self._entries:
+                raise ValueError(f"model {name!r} is already hosted; use swap() to replace it")
+            stats = self._stats.setdefault(name, ServerStats())
+            entry = _ModelEntry(
+                name,
+                reasoner,
+                stats=stats,
+                max_batch_size=self.max_batch_size,
+                max_wait_ms=self.max_wait_ms,
+                num_workers=self.num_workers,
+                version=version,
+                source=source,
+            )
+            self._entries[name] = entry
+            if self._started:
+                entry.start()
+            return entry
+
+    def swap(
+        self,
+        name: str,
+        reasoner,
+        version: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> _ModelEntry:
+        """Replace ``name``'s worker group, then drain the retired group."""
+        with self._lock:
+            retired = self.entry(name)
+            entry = _ModelEntry(
+                name,
+                reasoner,
+                stats=self._stats[name],
+                max_batch_size=self.max_batch_size,
+                max_wait_ms=self.max_wait_ms,
+                num_workers=self.num_workers,
+                version=version,
+                source=source if source is not None else retired.source,
+            )
+            if self._started:
+                entry.start()
+            self._entries[name] = entry
+        # Outside the lock: in-flight and queued requests finish on the old
+        # replicas while new submissions already hit the new ones.
+        retired.close()
+        return entry
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        with self._lock:
+            self._started = True
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.start()
+
+    def close(self) -> None:
+        with self._lock:
+            self._started = False
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.close()
+
+
+class ReasoningServer:
+    """Multi-tenant router: a :class:`ModelPool` behind HTTP/stdio front ends.
+
+    The single-model shape from PR 2 still works unchanged —
+    ``ReasoningServer(reasoner)`` hosts one model (named after the reasoner)
+    and ``submit``/``query``/``/query`` address it implicitly.  Hand the
+    server a :class:`~repro.serve.registry.ModelRegistry` (``registry=``) and
+    it can additionally host published versions by reference
+    (:meth:`add_model`), re-resolve them live (:meth:`reload`), and split
+    traffic between them (:meth:`route`).
+    """
+
+    def __init__(
+        self,
+        reasoner=None,
+        max_batch_size: int = 16,
+        max_wait_ms: float = 5.0,
+        num_workers: int = 1,
+        default_k: int = 10,
+        registry: Optional[Union[ModelRegistry, str]] = None,
+        default_model: Optional[str] = None,
+        seed: int = 0,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if default_k < 1:
+            raise ValueError("default_k must be >= 1")
+        if reasoner is None and registry is None:
+            raise ValueError("pass a reasoner, a registry=, or both")
+        if registry is not None and not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        self.registry = registry
+        self.default_k = default_k
+        self.pool = ModelPool(
+            max_batch_size=max_batch_size, max_wait_ms=max_wait_ms, num_workers=num_workers
+        )
+        self.default_model: Optional[str] = None
+        self._routes: Dict[str, CanaryRoute] = {}
+        self._route_lock = threading.Lock()
+        self._route_rng = new_rng(seed)
+        self._started = False
+        if reasoner is not None:
+            self.add_model(reasoner=reasoner, name=default_model)
+        elif default_model is not None:
+            self.add_model(default_model)
+
+    # --------------------------------------------------------------- tenancy
+    def add_model(
+        self,
+        ref: Optional[str] = None,
+        reasoner=None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Host a model and return its routing key.
+
+        Either pass ``reasoner=`` (an in-memory fitted reasoner; ``name``
+        defaults to its ``.name``) or a registry reference ``ref`` like
+        ``"mmkgr"``, ``"mmkgr@3"`` or ``"mmkgr@prod"`` — the reference is
+        remembered verbatim so :meth:`reload` re-resolves aliases.  The
+        first hosted model becomes the default.
+        """
+        if reasoner is not None:
+            key = name or getattr(reasoner, "name", None) or "default"
+            entry_version: Optional[int] = None
+            source: Optional[str] = None
+        else:
+            if ref is None:
+                raise ValueError("pass a registry reference or reasoner=")
+            if self.registry is None:
+                raise RuntimeError(
+                    "this server has no registry; construct it with registry= "
+                    "to host models by reference"
+                )
+            resolved = self.registry.resolve(ref)
+            reasoner = resolved.load()
+            key = name or resolved.name
+            entry_version = resolved.version
+            source = str(ref)
+        self.pool.add(key, reasoner, version=entry_version, source=source)
+        if self.default_model is None:
+            self.default_model = key
+        return key
+
+    def reload(self, name: Optional[str] = None, reasoner=None) -> Optional[ModelVersion]:
+        """Hot-swap a hosted model without dropping in-flight requests.
+
+        With ``reasoner=`` the given instance takes over.  Otherwise the
+        model's stored registry reference is re-resolved — so after
+        ``registry.promote(name, "prod", v)`` a ``reload(name)`` switches the
+        live ``name@prod`` traffic to version ``v``.  New submissions route
+        to the fresh worker group immediately; the retired group drains its
+        queued batches before its threads exit.  Returns the
+        :class:`~repro.serve.registry.ModelVersion` swapped in (``None`` for
+        an explicit ``reasoner=``).
+        """
+        key = name or self._require_default()
+        entry = self.pool.entry(key)
+        if reasoner is not None:
+            self.pool.swap(key, reasoner)
+            return None
+        if self.registry is None or entry.source is None:
+            raise RuntimeError(
+                f"model {key!r} is not registry-backed; pass reasoner= to swap it"
+            )
+        resolved = self.registry.resolve(entry.source)
+        self.pool.swap(key, resolved.load(), version=resolved.version, source=entry.source)
+        return resolved
+
+    def route(
+        self, name: str, canary_fraction: float, canary: Optional[str] = None
+    ) -> Optional[str]:
+        """Send ``canary_fraction`` of ``name``'s traffic to a canary model.
+
+        ``canary`` may be an already-hosted key or a registry reference
+        (hosted on demand under the reference itself); by default the
+        model's ``@canary`` alias is resolved from the registry.  The split
+        is drawn from the server's seeded RNG, so an identical submission
+        sequence reproduces the identical split.  ``canary_fraction=0``
+        removes the route.  Returns the canary's routing key.
+        """
+        if not 0.0 <= canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must be within [0, 1]")
+        key = name
+        entry = self.pool.entry(key)
+        if canary_fraction == 0.0:
+            with self._route_lock:
+                self._routes.pop(key, None)
+            return None
+        canary_key = canary
+        if canary_key is None:
+            model_name = (entry.source or key).partition("@")[0]
+            canary_key = f"{model_name}@canary"
+        if canary_key not in self.pool:
+            self.add_model(canary_key, name=canary_key)
+        if canary_key == key:
+            raise ValueError(f"model {key!r} cannot canary to itself")
+        with self._route_lock:
+            self._routes[key] = CanaryRoute(canary=canary_key, fraction=float(canary_fraction))
+        return canary_key
+
+    def routes(self) -> Dict[str, CanaryRoute]:
+        with self._route_lock:
+            return dict(self._routes)
+
+    def _require_default(self) -> str:
+        if self.default_model is None:
+            raise RuntimeError("no models hosted; call add_model() first")
+        return self.default_model
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> "ReasoningServer":
+        """Launch every hosted model's worker group (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        self.pool.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting work and wait for queued requests to drain."""
+        self.pool.close()
+        self._started = False
+
+    def __enter__(self) -> "ReasoningServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------- serving
+    def submit(
+        self,
+        head: EntityLike,
+        relation: RelationLike,
+        k: Optional[int] = None,
+        model: Optional[str] = None,
+    ) -> "Future[List[Prediction]]":
+        """Queue one query; the returned future resolves to its predictions.
+
+        ``model`` picks a hosted model (default: the default model).  When a
+        canary route is configured for the chosen model, this call draws the
+        canary split from the seeded RNG.
+        """
+        if not self._started:
+            raise RuntimeError("the server is not running; call start() first")
+        key = model if model is not None else self._require_default()
+        with self._route_lock:
+            route = self._routes.get(key)
+            # Draw inside the lock: one shared stream keeps the split
+            # reproducible for a deterministic submission order.
+            if route is not None and self._route_rng.random() < route.fraction:
+                key = route.canary
+        payload = QueryRequest(head, relation, k if k is not None else self.default_k)
+        while True:
+            entry = self.pool.entry(key)
+            try:
+                return entry.submit(payload)
+            except BatcherClosed:
+                # A hot swap retired this entry between the pool lookup and
+                # the submit; the pool already routes to its replacement.
+                # Only a still-registered closed entry means the server
+                # itself is shutting down.
+                if self.pool.entry(key) is entry:
+                    raise
+
+    def query(
+        self,
+        head: EntityLike,
+        relation: RelationLike,
+        k: Optional[int] = None,
+        model: Optional[str] = None,
+    ) -> List[Prediction]:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(head, relation, k=k, model=model).result()
+
+    # ----------------------------------------------------------------- reporting
+    @property
+    def stats(self) -> ServerStats:
+        """The default model's counters (single-model API of PR 2)."""
+        return self.pool.stats_for(self._require_default())
+
+    @property
+    def reasoner(self):
+        """The default model's live reasoner (single-model API of PR 2)."""
+        return self.pool.entry(self._require_default()).reasoner
+
+    def stats_dict(self, model: Optional[str] = None) -> dict:
+        return self.pool.entry(model or self._require_default()).stats_dict()
+
+    def models_dict(self) -> dict:
+        """The ``GET /v1/models`` listing: every hosted model and its route."""
+        routes = self.routes()
+        models = []
+        for key in self.pool.names():
+            entry = self.pool.entry(key)
+            info: Dict[str, Any] = {
+                "name": key,
+                "version": entry.version,
+                "source": entry.source,
+                "requests_total": entry.stats.requests_total,
+            }
+            route = routes.get(key)
+            if route is not None:
+                info["canary"] = {"model": route.canary, "fraction": route.fraction}
+            models.append(info)
+        return {"default_model": self.default_model, "models": models}
+
     # ---------------------------------------------------------------- front ends
     def serve_http(self, host: str = "127.0.0.1", port: int = 8977) -> None:
         """Serve HTTP/JSON until interrupted (blocking)."""
@@ -271,8 +634,12 @@ class ReasoningServer:
         """JSON-lines mode: one query per input line, one result per output line.
 
         Queries are submitted as they are read, so consecutive lines coalesce
-        into micro-batches; results are emitted in input order.  Returns the
-        number of failed requests (0 = every line answered).
+        into micro-batches; an optional ``"model"`` field routes a line to a
+        hosted model.  Answered lines are emitted in input order; a line the
+        server cannot even submit (malformed JSON, bad fields, unknown model)
+        is answered immediately with an error record, ahead of earlier valid
+        lines whose batches are still in flight.  Returns the number of
+        failed requests (0 = every line answered).
         """
         self.start()
         pending: Deque[tuple[dict, Future]] = deque()
@@ -302,17 +669,35 @@ class ReasoningServer:
             if not line:
                 continue
             try:
-                head, relation, k = _parse_query_object(json.loads(line), self.default_k)
+                payload = json.loads(line)
+                model = None
+                if isinstance(payload, dict) and "model" in payload:
+                    model = payload["model"]
+                    if not isinstance(model, str):
+                        raise ValueError("'model' must be a hosted model name")
+                head, relation, k = _parse_query_object(payload, self.default_k)
+                future = self.submit(head, relation, k=k, model=model)
             except (ValueError, TypeError, KeyError) as error:
                 output_stream.write(json.dumps({"error": str(error), "input": line}) + "\n")
                 output_stream.flush()
                 failures += 1
                 continue
             echo = {"head": head, "relation": relation, "k": k}
-            pending.append((echo, self.submit(head, relation, k=k)))
+            if model is not None:
+                echo["model"] = model
+            pending.append((echo, future))
             failures += drain(block=False)
         failures += drain(block=True)
         return failures
+
+
+def _reject_boolean(name: str, value: Any) -> Any:
+    """``bool`` is an ``int`` subclass, so ``True`` would silently pass every
+    integer-shaped check and resolve as entity/relation id 1; reject it with
+    a clear client error instead."""
+    if isinstance(value, bool):
+        raise ValueError(f"'{name}' must not be a boolean")
+    return value
 
 
 def _parse_query_object(payload: Any, default_k: int) -> tuple:
@@ -328,14 +713,21 @@ def _parse_query_object(payload: Any, default_k: int) -> tuple:
         raise ValueError(
             "expected a {'head', 'relation'[, 'k']} object or a [head, relation] pair"
         )
-    k = int(k)
+    head = _reject_boolean("head", payload["head"])
+    relation = _reject_boolean("relation", payload["relation"])
+    k = int(_reject_boolean("k", k))
     if k < 1:
         raise ValueError("k must be >= 1")
-    return payload["head"], payload["relation"], k
+    return head, relation, k
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
-    """Stdlib request handler: /query (POST), /stats and /healthz (GET)."""
+    """Stdlib request handler for the versioned multi-tenant surface.
+
+    ``POST /v1/models/<name>/query`` and ``GET /v1/models/<name>/stats``
+    address hosted models; ``GET /v1/models`` lists them; ``/query``,
+    ``/stats`` and ``/healthz`` stay as the PR-2 default-model aliases.
+    """
 
     protocol_version = "HTTP/1.1"
     # 30 s is far beyond any sane micro-batch wait; it bounds a wedged worker.
@@ -356,11 +748,33 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _model_path(self, expected_leaf: str) -> Optional[str]:
+        """``/v1/models/<name>/<leaf>`` -> the decoded model name, else ``None``."""
+        parts = self.path.split("/")
+        if len(parts) == 5 and parts[1] == "v1" and parts[2] == "models" and parts[4] == expected_leaf:
+            return unquote(parts[3])
+        return None
+
+    def _resolve_model(self, name: Optional[str]) -> Optional[str]:
+        """Validate the addressed model; answers the 404 itself on a miss."""
+        if name is not None and name not in self.reasoning.pool:
+            self._send_json(
+                404,
+                {"error": f"no hosted model {name!r}", "models": self.reasoning.pool.names()},
+            )
+            return None
+        return name if name is not None else self.reasoning.default_model
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         if self.path == "/stats":
             self._send_json(200, self.reasoning.stats_dict())
         elif self.path == "/healthz":
             self._send_json(200, {"status": "ok"})
+        elif self.path == "/v1/models":
+            self._send_json(200, self.reasoning.models_dict())
+        elif (name := self._model_path("stats")) is not None:
+            if self._resolve_model(name) is not None:
+                self._send_json(200, self.reasoning.stats_dict(model=name))
         else:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
 
@@ -374,17 +788,34 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.close_connection = True
             self._send_json(400, {"error": "invalid Content-Length header"})
             return
-        if self.path != "/query":
+        if self.path == "/query":
+            url_model = None
+        elif (url_model := self._model_path("query")) is None:
             self._send_json(404, {"error": f"unknown path {self.path!r}"})
             return
         try:
             payload = json.loads(body or b"null")
+            # The body may name a model too (the stdio protocol's shape); it
+            # must agree with the URL when both are given.
+            body_model = None
+            if isinstance(payload, dict) and "model" in payload:
+                body_model = payload["model"]
+                if not isinstance(body_model, str):
+                    raise ValueError("'model' must be a hosted model name")
+            if url_model is not None and body_model is not None and body_model != url_model:
+                raise ValueError(
+                    f"body model {body_model!r} conflicts with URL model {url_model!r}"
+                )
             head, relation, k = _parse_query_object(payload, self.reasoning.default_k)
         except (ValueError, TypeError, KeyError) as error:
             self._send_json(400, {"error": str(error)})
             return
+        model = url_model if url_model is not None else body_model
+        served_by = self._resolve_model(model)
+        if served_by is None and model is not None:
+            return  # 404 already sent
         try:
-            predictions = self.reasoning.submit(head, relation, k=k).result(
+            predictions = self.reasoning.submit(head, relation, k=k, model=model).result(
                 timeout=self.result_timeout_s
             )
         except QUERY_ERRORS as error:
@@ -396,6 +827,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self._send_json(
             200,
             {
+                "model": served_by,
                 "head": head,
                 "relation": relation,
                 "k": k,

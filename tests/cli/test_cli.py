@@ -341,3 +341,97 @@ class TestQueryCommands:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "reasoning path" in captured
+
+
+class TestModelsCommands:
+    """The registry workflow driven end to end through the CLI."""
+
+    @pytest.fixture(scope="class")
+    def registry_root(self, trained_checkpoint, tmp_path_factory):
+        root = tmp_path_factory.mktemp("registry")
+        for arguments in (
+            ["models", "publish", "--registry", str(root),
+             "--checkpoint", trained_checkpoint, "--name", "mmkgr"],
+            ["models", "publish", "--registry", str(root),
+             "--checkpoint", trained_checkpoint, "--name", "mmkgr", "--alias", "prod"],
+        ):
+            assert main(arguments) == 0
+        return str(root)
+
+    def test_publish_prints_the_version_ref(
+        self, registry_root, trained_checkpoint, capsys, tmp_path
+    ):
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps({"hits@1": 0.5}))
+        exit_code = main(
+            ["models", "publish", "--registry", registry_root,
+             "--checkpoint", trained_checkpoint, "--name", "side",
+             "--metrics", str(metrics)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "published side@1" in captured
+
+    def test_list_table_and_json(self, registry_root, capsys):
+        assert main(["models", "list", "--registry", registry_root]) == 0
+        table = capsys.readouterr().out
+        assert "mmkgr" in table and "prod->2" in table
+        assert main(["models", "list", "--registry", registry_root, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        mmkgr = next(m for m in payload if m["name"] == "mmkgr")
+        assert mmkgr["versions"] == [1, 2]
+        assert mmkgr["aliases"]["prod"] == 2
+
+    def test_promote_and_show(self, registry_root, capsys):
+        exit_code = main(
+            ["models", "promote", "--registry", registry_root,
+             "--model", "mmkgr@1", "--alias", "canary"]
+        )
+        assert exit_code == 0
+        assert "promoted mmkgr@1 to mmkgr@canary" in capsys.readouterr().out
+        exit_code = main(
+            ["models", "show", "--registry", registry_root,
+             "--model", "mmkgr@canary", "--json"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        description = json.loads(captured)
+        assert description["version"] == 1
+        assert "canary" in description["aliases"]
+
+    def test_promote_unknown_version_exits_2(self, registry_root, capsys):
+        exit_code = main(
+            ["models", "promote", "--registry", registry_root,
+             "--model", "mmkgr@9", "--alias", "prod"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_serve_registry_stdio(self, registry_root, capsys, monkeypatch):
+        lines = [
+            json.dumps({"head": 0, "relation": 1, "k": 3}),
+            json.dumps({"head": 2, "relation": 1, "model": "mmkgr"}),
+        ]
+        monkeypatch.setattr("sys.stdin", io.StringIO("\n".join(lines) + "\n"))
+        exit_code = main(
+            ["serve", "--registry", registry_root, "--model", "mmkgr@prod",
+             "--stdio", "--max-wait-ms", "5"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        records = [json.loads(line) for line in captured.out.strip().splitlines()]
+        assert len(records) == 2
+        assert all("predictions" in record for record in records)
+
+    def test_serve_registry_rejects_unknown_model(self, registry_root, capsys):
+        exit_code = main(["serve", "--registry", registry_root, "--model", "ghost"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "ghost" in captured.err
+
+    def test_serve_rejects_checkpoint_and_registry_together(self, registry_root):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--checkpoint", "ckpt", "--registry", registry_root]
+            )

@@ -108,6 +108,67 @@ class TestLifecycle:
         with pytest.raises(ValueError):
             DynamicBatcher(max_wait_ms=-1)
 
+    def test_close_flushes_a_batch_a_worker_is_holding_open(self):
+        # A worker coalescing a partial batch must release it as soon as the
+        # batcher closes, not sleep out the remaining max_wait_ms budget.
+        batcher = DynamicBatcher(max_batch_size=8, max_wait_ms=60_000)
+        collected = []
+
+        def consume():
+            collected.append(batcher.next_batch())
+
+        worker = threading.Thread(target=consume)
+        batcher.submit("pending")
+        worker.start()
+        time.sleep(0.05)  # let the worker enter the coalescing wait
+        start = time.monotonic()
+        batcher.close()
+        worker.join(timeout=5)
+        assert not worker.is_alive()
+        assert time.monotonic() - start < 5.0
+        assert [r.payload for r in collected[0]] == ["pending"]
+
+    def test_close_with_many_pending_drains_in_order_across_batches(self):
+        batcher = DynamicBatcher(max_batch_size=4, max_wait_ms=10_000)
+        futures = [batcher.submit(i) for i in range(10)]
+        batcher.close()
+        drained = []
+        while (batch := batcher.next_batch()) is not None:
+            drained.append([r.payload for r in batch])
+        assert drained == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert batcher.depth == 0
+        # The queue hands requests to workers; the futures are still theirs
+        # to resolve — closing must not touch them.
+        assert all(not f.done() for f in futures)
+
+    def test_shutdown_with_pending_requests_resolves_every_future(self):
+        # End-to-end worker-pool shape: requests queued at close() time must
+        # still be answered before the workers exit.
+        batcher = DynamicBatcher(max_batch_size=3, max_wait_ms=5)
+
+        def worker():
+            while (batch := batcher.next_batch()) is not None:
+                time.sleep(0.01)  # keep a backlog queued at close() time
+                execute_batch(
+                    batch,
+                    lambda payloads: [p * 2 for p in payloads],
+                    lambda payload: payload * 2,
+                )
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        futures = {i: batcher.submit(i) for i in range(20)}
+        batcher.close()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert all(not thread.is_alive() for thread in threads)
+        assert {i: f.result(timeout=1) for i, f in futures.items()} == {
+            i: i * 2 for i in range(20)
+        }
+        with pytest.raises(BatcherClosed):
+            batcher.submit("too late")
+
 
 class TestErrorIsolation:
     def _drain(self, batcher):

@@ -53,3 +53,22 @@ class TestReasonerCache:
         default = runner.reasoner_for("wn9-img-txt", "MTRL")
         other = runner.reasoner_for("wn9-img-txt", "MTRL", preset=preset)
         assert default is not other
+
+
+class TestRegistryPublishing:
+    def test_runner_publishes_every_newly_trained_reasoner(
+        self, tiny_preset, tmp_path
+    ):
+        runner = ExperimentRunner(
+            dataset_names=("wn9-img-txt",),
+            preset=tiny_preset,
+            seed=1,
+            registry=tmp_path / "registry",
+        )
+        runner.reasoner_for("wn9-img-txt", "MTRL")
+        runner.reasoner_for("wn9-img-txt", "MTRL")  # cache hit: no second publish
+        listing = runner.registry.list_models()
+        assert [m["name"] for m in listing] == ["wn9-img-txt.MTRL"]
+        assert listing[0]["versions"] == [1]
+        restored = runner.registry.load("wn9-img-txt.MTRL@latest")
+        assert restored.name == "MTRL"

@@ -161,6 +161,62 @@ class TestPercentile:
         assert _percentile(shuffled, 0.5) == 0.03
 
 
+class TestParseQueryObject:
+    """Regression tests: booleans must not pass as entity/relation ids or k.
+
+    ``bool`` subclasses ``int``, so ``True`` used to sail through ``int(k)``
+    and resolve as entity id 1 — a silently wrong answer instead of a 400.
+    """
+
+    def test_boolean_head_and_relation_rejected(self):
+        from repro.serve.server import _parse_query_object
+
+        with pytest.raises(ValueError, match="'head' must not be a boolean"):
+            _parse_query_object({"head": True, "relation": 1}, default_k=10)
+        with pytest.raises(ValueError, match="'relation' must not be a boolean"):
+            _parse_query_object({"head": 0, "relation": False}, default_k=10)
+        with pytest.raises(ValueError, match="'head' must not be a boolean"):
+            _parse_query_object([True, 1], default_k=10)
+
+    def test_boolean_k_rejected(self):
+        from repro.serve.server import _parse_query_object
+
+        with pytest.raises(ValueError, match="'k' must not be a boolean"):
+            _parse_query_object({"head": 0, "relation": 1, "k": True}, default_k=10)
+
+    def test_integer_payloads_still_parse(self):
+        from repro.serve.server import _parse_query_object
+
+        assert _parse_query_object({"head": 0, "relation": 1, "k": 3}, 10) == (0, 1, 3)
+        assert _parse_query_object([2, 1], 10) == (2, 1, 10)
+
+    def test_boolean_query_is_a_400_over_http(self, fitted_reasoner, test_queries):
+        import threading
+        import urllib.request
+
+        server = ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10)
+        httpd = server.http_server("127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            request = urllib.request.Request(
+                f"{base}/query",
+                data=json.dumps({"head": True, "relation": 1}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 400
+            assert "boolean" in json.loads(excinfo.value.read())["error"]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server.close()
+            thread.join(timeout=5)
+
+
 class TestHTTPFrontEnd:
     @pytest.fixture()
     def http_server(self, fitted_reasoner):
@@ -249,3 +305,50 @@ class TestStdioFrontEnd:
         failed = [r for r in records if "error" in r]
         assert len(ok) == 2 and len(failed) == 2
         assert ok[0]["head"] == h0 and len(ok[0]["predictions"]) <= 3
+
+    def test_mixed_stream_exit_counts_and_output_order(
+        self, fitted_reasoner, test_queries
+    ):
+        """Satellite: valid, malformed, and unknown-entity lines interleaved.
+
+        Contract: answered lines (including unknown-entity failures, which
+        fail at execution time) come back in input order relative to each
+        other; lines that cannot even be submitted (malformed JSON, boolean
+        fields) are answered immediately with an ``"input"`` echo; the return
+        value counts every failed line of either kind.
+        """
+        (h0, r0), (h1, r1), (h2, r2) = test_queries[0], test_queries[1], test_queries[2]
+        lines = [
+            json.dumps({"head": h0, "relation": r0, "k": 3}),
+            "{broken json",
+            json.dumps({"head": "no-such-entity", "relation": r0}),
+            json.dumps([h1, r1]),
+            json.dumps({"head": True, "relation": r0}),  # boolean: submit-time reject
+            json.dumps({"head": h2, "relation": r2, "k": 2}),
+        ]
+        output = io.StringIO()
+        with ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10) as server:
+            failures = server.serve_stdio(io.StringIO("\n".join(lines) + "\n"), output)
+        records = [json.loads(line) for line in output.getvalue().splitlines()]
+        # 3 failures: broken JSON + unknown entity + boolean head.
+        assert failures == 3
+        assert len(records) == len(lines)
+        # Submitted lines (valid + unknown-entity) are emitted in input order.
+        submitted = [r for r in records if "input" not in r]
+        assert [r["head"] for r in submitted] == [h0, "no-such-entity", h1, h2]
+        assert "error" in submitted[1]
+        assert all("predictions" in r for r in (submitted[0], submitted[2], submitted[3]))
+        # Unsubmittable lines echo their raw input for correlation.
+        unsubmitted = [r for r in records if "input" in r]
+        assert [r["input"] for r in unsubmitted] == [lines[1], lines[4]]
+        assert all("error" in r for r in unsubmitted)
+
+    def test_all_failures_stream_returns_every_error(self, fitted_reasoner):
+        lines = ["nonsense", json.dumps({"head": "ghost", "relation": "ghost-rel"})]
+        output = io.StringIO()
+        with ReasoningServer(fitted_reasoner, max_batch_size=2, max_wait_ms=5) as server:
+            failures = server.serve_stdio(io.StringIO("\n".join(lines) + "\n"), output)
+        records = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert failures == 2
+        assert len(records) == 2
+        assert all("error" in r for r in records)
