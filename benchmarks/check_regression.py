@@ -13,7 +13,9 @@ numbers against the committed ``benchmarks/baseline.json``:
   tolerance, so a merged change cannot silently erode the shipped numbers.
 
 A metric regresses when the fresh value falls below ``baseline * (1 -
-tolerance)`` (all guarded metrics are higher-is-better speedups).  Missing
+tolerance)`` for higher-is-better metrics (speedups, capacity knees), or
+rises above ``baseline * (1 + tolerance)`` for metrics declaring
+``"direction": "lower"`` (latency SLOs).  Missing
 benchmarks or missing ``extra_info`` keys are reported as warnings in both
 modes — a renamed benchmark should update the baseline, not evade it.
 
@@ -52,7 +54,13 @@ def check(baseline: dict, fresh: dict) -> tuple:
     regressions, missing, ok = [], [], []
     for metric, spec in baseline.get("metrics", {}).items():
         expected = float(spec["value"])
-        threshold = expected * (1.0 - tolerance)
+        # "higher" (default) guards a floor; "direction": "lower" guards a
+        # ceiling (latency SLOs regress by going *up*).
+        lower_is_better = spec.get("direction", "higher") == "lower"
+        if lower_is_better:
+            threshold = expected * (1.0 + tolerance)
+        else:
+            threshold = expected * (1.0 - tolerance)
         actual = fresh.get(metric)
         if actual is None:
             missing.append(
@@ -60,13 +68,18 @@ def check(baseline: dict, fresh: dict) -> tuple:
                 f"(expected ~{expected:g}); renamed benchmarks must update the baseline"
             )
             continue
-        if actual < threshold:
+        if (actual > threshold) if lower_is_better else (actual < threshold):
+            comparison = "above" if lower_is_better else "below"
+            sign = "+" if lower_is_better else "-"
             regressions.append(
-                f"{metric}: {actual:g} is below {threshold:g} "
-                f"(baseline {expected:g} - {tolerance:.0%} tolerance)"
+                f"{metric}: {actual:g} is {comparison} {threshold:g} "
+                f"(baseline {expected:g} {sign} {tolerance:.0%} tolerance)"
             )
         else:
-            ok.append(f"{metric}: {actual:g} (baseline {expected:g}, floor {threshold:g})")
+            bound = "ceiling" if lower_is_better else "floor"
+            ok.append(
+                f"{metric}: {actual:g} (baseline {expected:g}, {bound} {threshold:g})"
+            )
     return regressions, missing, ok
 
 

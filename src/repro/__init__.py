@@ -83,7 +83,7 @@ from repro.serve import (
     load_reasoner,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Reasoner",

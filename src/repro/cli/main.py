@@ -5,9 +5,11 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
+import time
 from dataclasses import replace
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import IO, Optional, Sequence
 
 from repro.analysis.export import save_metrics_csv
 from repro.baselines.registry import available_baselines, run_baseline
@@ -327,6 +329,38 @@ def _registry_server(args: argparse.Namespace) -> ReasoningServer:
     return server
 
 
+def _stats_snapshot_line(server: ReasoningServer) -> str:
+    """One JSON line: every hosted model's stats (with per-stage breakdown)."""
+    return json.dumps(
+        {
+            "ts": round(time.time(), 3),
+            "models": {
+                name: server.stats_dict(model=name) for name in server.pool.names()
+            },
+        }
+    )
+
+
+def _start_stats_logger(
+    server: ReasoningServer, interval_s: float, stream: IO[str]
+) -> threading.Event:
+    """Write the stats snapshot to ``stream`` every ``interval_s`` seconds.
+
+    Returns the stop event; setting it ends the logger thread.  Long-running
+    load tests use this as the server-side trace matching the client-side
+    request records.
+    """
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval_s):
+            print(_stats_snapshot_line(server), file=stream, flush=True)
+
+    thread = threading.Thread(target=loop, name="mmkgr-stats-logger", daemon=True)
+    thread.start()
+    return stop
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     try:
         if args.registry:
@@ -350,21 +384,66 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except _INPUT_ERRORS as error:
         return _input_error(error)
     with server:
-        if args.stdio:
-            failures = server.serve_stdio(sys.stdin, sys.stdout)
-            return 1 if failures else 0
-        print(
-            f"serving {serving} (default {server.default_model}) on "
-            f"http://{args.host}:{args.port} "
-            f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms}, "
-            f"workers={args.workers}); POST /v1/models/<name>/query, GET /v1/models"
-        )
+        stats_stop = None
+        if args.stats_interval:
+            stats_stop = _start_stats_logger(server, args.stats_interval, sys.stderr)
         try:
-            server.serve_http(args.host, args.port)
-        except KeyboardInterrupt:
-            print("shutting down")
-        except OSError as error:  # bind failures: port busy, privileged, bad host
-            return _input_error(error)
+            if args.stdio:
+                failures = server.serve_stdio(sys.stdin, sys.stdout)
+                return 1 if failures else 0
+            print(
+                f"serving {serving} (default {server.default_model}) on "
+                f"http://{args.host}:{args.port} "
+                f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms}, "
+                f"workers={args.workers}); POST /v1/models/<name>/query, GET /v1/models"
+            )
+            try:
+                server.serve_http(args.host, args.port)
+            except KeyboardInterrupt:
+                print("shutting down")
+            except OSError as error:  # bind failures: port busy, privileged, bad host
+                return _input_error(error)
+        finally:
+            if stats_stop is not None:
+                stats_stop.set()
+    return 0
+
+
+# --------------------------------------------------------------- load testing
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """``mmkgr loadtest run|sweep <spec.json>``: capacity-planning harness.
+
+    ``run`` drives the spec's base workload as a single operating point;
+    ``sweep`` ramps the spec's sweep axis, locates the saturation knee, and
+    validates the SLO at a fraction of it.  Both print the report and can
+    emit it as JSON for CI artifacts.
+    """
+    from repro.loadgen import load_spec, render_report_text, run_loadtest
+
+    try:
+        spec = load_spec(args.spec)
+        report = run_loadtest(spec, sweep=args.loadtest_command == "sweep")
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    print(render_report_text(report))
+    if args.output:
+        Path(args.output).write_text(json.dumps(report, indent=2), encoding="utf-8")
+        print(f"report written to {args.output}")
+    if args.enforce_slo:
+        slo = report.get("slo")
+        if slo is None:
+            print(
+                "error: --enforce-slo requires an 'slo' section in the spec",
+                file=sys.stderr,
+            )
+            return EXIT_BAD_INPUT
+        if not slo["passed"]:
+            print(
+                f"SLO failed: p99 {slo['measured_p99_ms']:.1f} ms exceeds the "
+                f"{slo['p99_ms_limit']:.1f} ms limit",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 
@@ -600,7 +679,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--stdio", action="store_true",
         help="serve JSON-lines on stdin/stdout instead of HTTP",
     )
+    serve.add_argument(
+        "--stats-interval", type=float, default=None,
+        help="write the /stats snapshot (per-stage breakdown included) as a "
+        "JSON line to stderr every this many seconds",
+    )
     serve.set_defaults(handler=cmd_serve)
+
+    # loadtest ---------------------------------------------------------------
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="declarative load testing & capacity planning against the daemon",
+    )
+    loadtest_sub = loadtest.add_subparsers(dest="loadtest_command", required=True)
+    for leaf, description in (
+        ("run", "drive the spec's base workload as a single operating point"),
+        ("sweep", "ramp the sweep axis, find the saturation knee, check the SLO"),
+    ):
+        loadtest_leaf = loadtest_sub.add_parser(leaf, help=description)
+        loadtest_leaf.add_argument("spec", help="path to a load-test spec JSON file")
+        loadtest_leaf.add_argument(
+            "--output", type=str, default=None, help="write the JSON report to this file"
+        )
+        loadtest_leaf.add_argument(
+            "--enforce-slo", action="store_true",
+            help="exit 1 when the spec's SLO fails (for CI gates)",
+        )
+        loadtest_leaf.set_defaults(handler=cmd_loadtest)
 
     # models ----------------------------------------------------------------
     models = subparsers.add_parser(

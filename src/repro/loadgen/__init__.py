@@ -1,0 +1,89 @@
+"""Load-test & capacity-planning harness for the serving stack.
+
+The ROADMAP's open question — *what load can a deployment take?* — is
+answered here, declaratively:
+
+* :mod:`~repro.loadgen.spec` — JSON experiment specs (deployment shape,
+  workload, sweep axes, SLO), stdlib-parsed and typo-rejecting;
+* :mod:`~repro.loadgen.workload` — seeded workload generators: open-loop
+  Poisson arrivals at a target QPS, closed-loop fixed concurrency, query
+  mixes sampled from a dataset's held-out triples, and Zipf hot-key skew
+  across hosted models.  Every stream is a child RNG of the workload seed,
+  so a replayed spec reproduces the identical arrival and query sequence;
+* :mod:`~repro.loadgen.driver` — the open/closed-loop drivers producing
+  per-request records against a live :class:`~repro.serve.ReasoningServer`;
+* :mod:`~repro.loadgen.metering` / :mod:`~repro.loadgen.report` — per-point
+  metrics (offered vs achieved QPS, p50/p99/p99.9, error rate, per-stage
+  queue-wait / batch-wait / compute breakdown), saturation-knee detection,
+  and SLO verdicts;
+* :mod:`~repro.loadgen.runner` — the sweep runner: boot a fresh server per
+  operating point, drive the plan, assemble the report.
+
+CLI surface: ``mmkgr loadtest run|sweep <spec.json>``.  The capacity
+benchmark (``benchmarks/test_loadtest_capacity.py``) wires the knee and SLO
+numbers into ``benchmarks/baseline.json`` so capacity regressions fail CI
+exactly like throughput regressions.
+"""
+
+from repro.loadgen.driver import DriveResult, RequestRecord, run_plan
+from repro.loadgen.metering import percentile, point_metrics, stage_breakdown_ms
+from repro.loadgen.report import (
+    build_report,
+    evaluate_slo,
+    find_knee,
+    render_report_text,
+)
+from repro.loadgen.runner import build_reasoners, run_loadtest
+from repro.loadgen.spec import (
+    DeploymentSpec,
+    LoadTestSpec,
+    SLOSpec,
+    SweepSpec,
+    WorkloadSpec,
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+from repro.loadgen.workload import (
+    PlannedRequest,
+    WorkloadPlan,
+    plan_point,
+    plan_slo_point,
+    plan_sweep,
+    poisson_offsets,
+    query_mix,
+    zipf_weights,
+)
+
+__all__ = [
+    "DeploymentSpec",
+    "DriveResult",
+    "LoadTestSpec",
+    "PlannedRequest",
+    "RequestRecord",
+    "SLOSpec",
+    "SweepSpec",
+    "WorkloadPlan",
+    "WorkloadSpec",
+    "build_reasoners",
+    "build_report",
+    "evaluate_slo",
+    "find_knee",
+    "load_spec",
+    "percentile",
+    "plan_point",
+    "plan_slo_point",
+    "plan_sweep",
+    "point_metrics",
+    "poisson_offsets",
+    "query_mix",
+    "render_report_text",
+    "run_loadtest",
+    "run_plan",
+    "save_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+    "stage_breakdown_ms",
+    "zipf_weights",
+]

@@ -1,0 +1,163 @@
+"""Load drivers: replay a :class:`~repro.loadgen.workload.WorkloadPlan`.
+
+Two driving disciplines, matching the plan's mode:
+
+* **open loop** — submit each request at its planned Poisson offset and
+  never wait for responses (completions are stamped by future callbacks).
+  The arrival process is independent of server speed, so overload shows up
+  as growing queue wait instead of silently throttled offered load;
+* **closed loop** — ``concurrency`` synchronous workers pull the planned
+  sequence in order and block on each response: self-paced traffic whose
+  achieved throughput *is* the offered throughput.
+
+Both produce one :class:`RequestRecord` per planned request with submit and
+completion times relative to the run start, so the metering layer can
+compute offered vs achieved QPS, latency percentiles, and error rates
+without knowing which discipline drove the run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import wait as wait_futures
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.loadgen.workload import WorkloadPlan
+
+__all__ = ["DriveResult", "RequestRecord", "run_plan"]
+
+
+@dataclass
+class RequestRecord:
+    """One driven request: what was asked, when, and how it ended."""
+
+    index: int
+    model: str
+    head: int
+    relation: int
+    k: int
+    planned_offset_s: float
+    submitted_s: Optional[float] = None
+    completed_s: Optional[float] = None
+    error: Optional[str] = None
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        if self.submitted_s is None or self.completed_s is None:
+            return None
+        return self.completed_s - self.submitted_s
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.completed_s is not None
+
+
+@dataclass
+class DriveResult:
+    """Every record of one run plus the measured wall clock."""
+
+    records: List[RequestRecord]
+    wall_clock_s: float
+
+
+def run_plan(server, plan: WorkloadPlan, timeout_s: float = 120.0) -> DriveResult:
+    """Drive ``plan`` against a started :class:`~repro.serve.ReasoningServer`."""
+    if plan.mode == "open":
+        return _run_open_loop(server, plan, timeout_s)
+    return _run_closed_loop(server, plan, timeout_s)
+
+
+def _records_for(plan: WorkloadPlan) -> List[RequestRecord]:
+    return [
+        RequestRecord(
+            index=index,
+            model=item.model,
+            head=item.head,
+            relation=item.relation,
+            k=item.k,
+            planned_offset_s=item.offset_s,
+        )
+        for index, item in enumerate(plan.requests)
+    ]
+
+
+def _run_open_loop(server, plan: WorkloadPlan, timeout_s: float) -> DriveResult:
+    records = _records_for(plan)
+    start = time.monotonic()
+    futures = []
+    for record in records:
+        delay = (start + record.planned_offset_s) - time.monotonic()
+        if delay > 0:
+            time.sleep(delay)
+        record.submitted_s = time.monotonic() - start
+        try:
+            future = server.submit(
+                record.head, record.relation, k=record.k, model=record.model
+            )
+        except Exception as error:  # refused at submit time (closed, unknown model)
+            record.completed_s = time.monotonic() - start
+            record.error = str(error)
+            continue
+
+        def _done(done, record=record):
+            record.completed_s = time.monotonic() - start
+            failed = (not done.cancelled()) and done.exception() is not None
+            if failed:
+                record.error = str(done.exception())
+            elif done.cancelled():
+                record.error = "cancelled"
+
+        future.add_done_callback(_done)
+        futures.append(future)
+    done, not_done = wait_futures(futures, timeout=timeout_s)
+    for future in not_done:
+        future.cancel()
+    for record in records:
+        if record.completed_s is None:
+            record.completed_s = time.monotonic() - start
+            record.error = record.error or f"timed out after {timeout_s}s"
+    wall = max((r.completed_s for r in records), default=plan.duration_s)
+    return DriveResult(records=records, wall_clock_s=max(wall, plan.duration_s))
+
+
+def _run_closed_loop(server, plan: WorkloadPlan, timeout_s: float) -> DriveResult:
+    records = _records_for(plan)
+    cursor_lock = threading.Lock()
+    cursor = [0]
+    start = time.monotonic()
+    deadline = start + plan.duration_s
+
+    def worker() -> None:
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                return
+            with cursor_lock:
+                position = cursor[0]
+                if position >= len(records):
+                    return
+                cursor[0] = position + 1
+            record = records[position]
+            record.submitted_s = time.monotonic() - start
+            try:
+                result = server.submit(
+                    record.head, record.relation, k=record.k, model=record.model
+                )
+                result.result(timeout=timeout_s)
+            except Exception as error:
+                record.error = str(error)
+            record.completed_s = time.monotonic() - start
+
+    threads = [
+        threading.Thread(target=worker, name=f"mmkgr-loadgen-{i}", daemon=True)
+        for i in range(plan.concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=plan.duration_s + timeout_s)
+    driven = [r for r in records if r.submitted_s is not None]
+    wall = max((r.completed_s for r in driven if r.completed_s is not None), default=0.0)
+    return DriveResult(records=driven, wall_clock_s=max(wall, 1e-9))

@@ -1,0 +1,180 @@
+"""Capacity reports: saturation knee, latency-vs-QPS curves, SLO verdicts.
+
+The sweep runner hands this module one metrics block per operating point
+(:func:`~repro.loadgen.metering.point_metrics`); it finds the saturation
+knee, evaluates the SLO, and assembles the JSON report the CLI emits and CI
+archives.  :func:`render_report_text` is the human view of the same data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.utils.tables import format_table
+
+__all__ = [
+    "EFFICIENCY_THRESHOLD",
+    "build_report",
+    "evaluate_slo",
+    "find_knee",
+    "render_report_text",
+]
+
+# A point is "efficient" while achieved throughput tracks offered throughput
+# to within this factor; the knee is the last efficient point of the ramp.
+EFFICIENCY_THRESHOLD = 0.9
+
+
+def find_knee(
+    points: Sequence[dict],
+    axis: str = "qps",
+    efficiency_threshold: float = EFFICIENCY_THRESHOLD,
+) -> dict:
+    """Locate the saturation knee of a sweep.
+
+    For a QPS ramp: the knee is the highest offered QPS whose achieved
+    throughput stays within ``efficiency_threshold`` of the *realized*
+    offered rate (the seeded Poisson draw's actual arrival rate — comparing
+    against the nominal target would read arrival-count noise on short runs
+    as saturation) — beyond the knee the server sheds the excess into
+    queueing.  For a concurrency ramp (closed loop, offered == achieved)
+    the knee is the first point whose throughput reaches
+    ``efficiency_threshold`` of the ramp's maximum — adding workers past it
+    buys latency, not throughput.
+
+    ``saturated`` reports whether the ramp actually crossed the knee; an
+    unsaturated sweep means every point was efficient and the true capacity
+    lies beyond the last value swept.
+    """
+    if not points:
+        raise ValueError("cannot find a knee without sweep points")
+    if axis == "qps":
+        knee = None
+        for point in points:
+            efficient = point["achieved_qps"] >= efficiency_threshold * point["offered_qps"]
+            if not efficient:
+                break
+            knee = point
+        if knee is None:  # even the first point saturated: capacity < first value
+            first = points[0]
+            return {
+                "qps": first["achieved_qps"],
+                "axis": axis,
+                "saturated": True,
+                "efficiency_threshold": efficiency_threshold,
+            }
+        saturated = knee is not points[-1]
+        return {
+            "qps": knee.get("target_qps") or knee["offered_qps"],
+            "axis": axis,
+            "saturated": saturated,
+            "efficiency_threshold": efficiency_threshold,
+        }
+    # Concurrency ramp: find where throughput stops growing.
+    best = max(point["achieved_qps"] for point in points)
+    for point in points:
+        if point["achieved_qps"] >= efficiency_threshold * best:
+            return {
+                "qps": point["achieved_qps"],
+                "axis": axis,
+                "saturated": point is not points[-1],
+                "efficiency_threshold": efficiency_threshold,
+            }
+    raise AssertionError("unreachable: the best point satisfies its own threshold")
+
+
+def evaluate_slo(slo, knee_qps: float, measured_p99_ms: float, target_qps: float) -> dict:
+    """The SLO verdict block: p99 at a fraction of the knee vs the limit."""
+    return {
+        "p99_ms_limit": slo.p99_ms,
+        "at_fraction_of_knee": slo.at_fraction_of_knee,
+        "target_qps": target_qps,
+        "measured_p99_ms": measured_p99_ms,
+        "passed": measured_p99_ms <= slo.p99_ms,
+        "knee_qps": knee_qps,
+    }
+
+
+def build_report(
+    spec_payload: dict,
+    mode: str,
+    points: List[dict],
+    knee: Optional[dict] = None,
+    slo: Optional[dict] = None,
+) -> dict:
+    """Assemble the JSON report: spec echo, per-point curves, knee, SLO."""
+    report = {
+        "name": spec_payload.get("name", "loadtest"),
+        "mode": mode,
+        "spec": spec_payload,
+        "points": points,
+    }
+    if knee is not None:
+        report["knee"] = knee
+    if slo is not None:
+        report["slo"] = slo
+    return report
+
+
+def _curve_rows(points: Sequence[dict]) -> List[list]:
+    rows = []
+    for point in points:
+        latency = point["latency_ms"]
+        stages = point["stages_ms"]
+        rows.append(
+            [
+                f"{point['offered_qps']:.1f}",
+                f"{point['achieved_qps']:.1f}",
+                f"{100 * point['error_rate']:.1f}%",
+                f"{latency['p50']:.1f}",
+                f"{latency['p99']:.1f}",
+                f"{latency['p99.9']:.1f}",
+                f"{stages['queue_wait']['p50_ms']:.1f}",
+                f"{stages['batch_wait']['p50_ms']:.1f}",
+                f"{stages['compute']['p50_ms']:.1f}",
+            ]
+        )
+    return rows
+
+
+def render_report_text(report: dict) -> str:
+    """The CLI's human-readable rendering of a capacity report."""
+    sections = [
+        format_table(
+            [
+                "offered qps",
+                "achieved qps",
+                "errors",
+                "p50 ms",
+                "p99 ms",
+                "p99.9 ms",
+                "queue p50",
+                "batch p50",
+                "compute p50",
+            ],
+            _curve_rows(report["points"]),
+            title=f"{report['name']} — {report['mode']} ({len(report['points'])} point(s))",
+        )
+    ]
+    knee = report.get("knee")
+    if knee is not None:
+        qualifier = "saturated" if knee["saturated"] else "not saturated; true capacity is higher"
+        sections.append(
+            f"saturation knee: {knee['qps']:.1f} qps on the {knee['axis']} axis "
+            f"({qualifier}, efficiency threshold {knee['efficiency_threshold']:.0%})"
+        )
+    slo = report.get("slo")
+    if slo is not None:
+        verdict = "PASS" if slo["passed"] else "FAIL"
+        line = (
+            f"SLO {verdict}: p99 {slo['measured_p99_ms']:.1f} ms vs limit "
+            f"{slo['p99_ms_limit']:.1f} ms"
+        )
+        # Sweep verdicts carry the knee context; single-point runs do not.
+        if "target_qps" in slo:
+            line += (
+                f" at {slo['target_qps']:.1f} qps "
+                f"({slo['at_fraction_of_knee']:.0%} of knee {slo['knee_qps']:.1f} qps)"
+            )
+        sections.append(line)
+    return "\n\n".join(sections)

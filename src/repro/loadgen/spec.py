@@ -1,0 +1,259 @@
+"""Declarative load-test experiment specs (stdlib-JSON parsed).
+
+A spec file describes one capacity experiment end to end:
+
+* ``deployment`` — the serving shape to boot: which models (trained from a
+  named preset or loaded from a model registry), how many workers per model,
+  and the micro-batcher knobs;
+* ``workload`` — the traffic: open-loop (seeded Poisson arrivals at a target
+  QPS) or closed-loop (fixed concurrency), query-mix sampling seed, and the
+  Zipf hot-key skew across hosted models;
+* ``sweep`` — the axis to ramp (offered QPS or concurrency) and its values;
+* ``slo`` — the latency objective the report checks at a fraction of the
+  measured saturation knee.
+
+Unknown keys are rejected: a typo in a declarative spec must fail loudly at
+parse time, not silently fall back to a default mid-experiment.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+__all__ = [
+    "DeploymentSpec",
+    "LoadTestSpec",
+    "SLOSpec",
+    "SweepSpec",
+    "WorkloadSpec",
+    "load_spec",
+    "save_spec",
+    "spec_from_dict",
+    "spec_to_dict",
+]
+
+PathLike = Union[str, Path]
+
+WORKLOAD_MODES = ("open", "closed")
+SWEEP_AXES = ("qps", "concurrency")
+
+# Built-in deployment presets resolved by the runner (kept here so spec
+# validation can reject unknown names at parse time).
+DEPLOYMENT_PRESETS = ("tiny", "bench")
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """The serving shape one sweep point boots.
+
+    Models come from one of two sources: ``preset`` trains one reasoner from
+    a built-in preset and hosts a replica under every name in ``models``
+    (multi-tenant contention without a registry on disk), while ``registry``
+    loads each entry of ``models`` as a registry reference (``"mmkgr"``,
+    ``"mmkgr@prod"``, ...).  ``dataset``/``scale``/``seed`` always name the
+    data the query mix is sampled from.
+    """
+
+    preset: Optional[str] = "tiny"
+    preset_config: Optional[str] = None  # path to a preset JSON; overrides preset
+    registry: Optional[str] = None  # registry root; models become references
+    models: Tuple[str, ...] = ("mmkgr",)
+    dataset: str = "wn9-img-txt"
+    scale: float = 0.2
+    seed: int = 7
+    workers: int = 1
+    max_batch_size: int = 16
+    max_wait_ms: float = 5.0
+    k: int = 5
+
+    def validate(self) -> None:
+        if not self.models:
+            raise ValueError("deployment.models must name at least one model")
+        if self.registry is None and self.preset_config is None:
+            if self.preset not in DEPLOYMENT_PRESETS:
+                raise ValueError(
+                    f"deployment.preset must be one of {DEPLOYMENT_PRESETS}, "
+                    f"got {self.preset!r} (or set registry/preset_config)"
+                )
+        if self.workers < 1:
+            raise ValueError("deployment.workers must be >= 1")
+        if self.max_batch_size < 1:
+            raise ValueError("deployment.max_batch_size must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("deployment.max_wait_ms must be >= 0")
+        if self.k < 1:
+            raise ValueError("deployment.k must be >= 1")
+        if not 0 < self.scale <= 1:
+            raise ValueError("deployment.scale must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The traffic one run offers the deployment.
+
+    Open-loop mode submits requests at seeded-Poisson arrival times for a
+    target offered QPS and never waits for responses (the arrival process is
+    independent of server speed, so saturation shows up as queueing).
+    Closed-loop mode runs ``concurrency`` synchronous workers back to back
+    (self-paced: offered equals achieved).  ``model_skew`` is the exponent of
+    a Zipf distribution over the hosted model names — 0 is uniform, larger
+    values concentrate traffic on a hot model.
+    """
+
+    mode: str = "open"
+    qps: float = 50.0
+    concurrency: int = 4
+    duration_s: float = 1.0
+    max_requests: Optional[int] = None  # closed-loop plan bound (default 4096)
+    model_skew: float = 0.0
+    seed: int = 7
+
+    def validate(self) -> None:
+        if self.mode not in WORKLOAD_MODES:
+            raise ValueError(f"workload.mode must be one of {WORKLOAD_MODES}, got {self.mode!r}")
+        if self.qps <= 0:
+            raise ValueError("workload.qps must be > 0")
+        if self.concurrency < 1:
+            raise ValueError("workload.concurrency must be >= 1")
+        if self.duration_s <= 0:
+            raise ValueError("workload.duration_s must be > 0")
+        if self.max_requests is not None and self.max_requests < 1:
+            raise ValueError("workload.max_requests must be >= 1")
+        if self.model_skew < 0:
+            raise ValueError("workload.model_skew must be >= 0")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The ramp axis: offered QPS (open-loop) or concurrency (closed-loop)."""
+
+    axis: str = "qps"
+    values: Tuple[float, ...] = ()
+
+    def validate(self) -> None:
+        if self.axis not in SWEEP_AXES:
+            raise ValueError(f"sweep.axis must be one of {SWEEP_AXES}, got {self.axis!r}")
+        if not self.values:
+            raise ValueError("sweep.values must list at least one point")
+        if any(value <= 0 for value in self.values):
+            raise ValueError("sweep.values must all be > 0")
+        if list(self.values) != sorted(self.values):
+            raise ValueError("sweep.values must be sorted ascending (a ramp)")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """The objective checked against the sweep: p99 at a fraction of the knee."""
+
+    p99_ms: float = 50.0
+    at_fraction_of_knee: float = 0.8
+
+    def validate(self) -> None:
+        if self.p99_ms <= 0:
+            raise ValueError("slo.p99_ms must be > 0")
+        if not 0 < self.at_fraction_of_knee <= 1:
+            raise ValueError("slo.at_fraction_of_knee must be within (0, 1]")
+
+
+@dataclass(frozen=True)
+class LoadTestSpec:
+    """One declarative capacity experiment: deployment + workload + sweep + SLO."""
+
+    name: str = "loadtest"
+    deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    sweep: Optional[SweepSpec] = None
+    slo: Optional[SLOSpec] = None
+
+    def validate(self) -> None:
+        self.deployment.validate()
+        self.workload.validate()
+        if self.sweep is not None:
+            self.sweep.validate()
+            if self.sweep.axis == "qps" and self.workload.mode != "open":
+                raise ValueError("a qps sweep requires workload.mode 'open'")
+            if self.sweep.axis == "concurrency" and self.workload.mode != "closed":
+                raise ValueError("a concurrency sweep requires workload.mode 'closed'")
+        if self.slo is not None:
+            self.slo.validate()
+
+
+def _build(cls, section: str, payload: dict):
+    """Instantiate a spec dataclass from a JSON object, rejecting unknown keys."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"spec section {section!r} must be a JSON object, got {payload!r}")
+    known = {spec_field.name for spec_field in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {unknown} in spec section {section!r} "
+            f"(known: {sorted(known)})"
+        )
+    coerced = dict(payload)
+    for spec_field in fields(cls):
+        if spec_field.name in coerced and isinstance(coerced[spec_field.name], list):
+            coerced[spec_field.name] = tuple(coerced[spec_field.name])
+    return cls(**coerced)
+
+
+def spec_from_dict(payload: dict) -> LoadTestSpec:
+    """Parse (and validate) a spec from a plain dict."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"a load-test spec must be a JSON object, got {payload!r}")
+    known = {"name", "deployment", "workload", "sweep", "slo"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(f"unknown top-level key(s) {unknown} in spec (known: {sorted(known)})")
+    spec = LoadTestSpec(
+        name=payload.get("name", "loadtest"),
+        deployment=_build(DeploymentSpec, "deployment", payload.get("deployment", {})),
+        workload=_build(WorkloadSpec, "workload", payload.get("workload", {})),
+        sweep=(
+            _build(SweepSpec, "sweep", payload["sweep"])
+            if payload.get("sweep") is not None
+            else None
+        ),
+        slo=(
+            _build(SLOSpec, "slo", payload["slo"])
+            if payload.get("slo") is not None
+            else None
+        ),
+    )
+    spec.validate()
+    return spec
+
+
+def spec_to_dict(spec: LoadTestSpec) -> dict:
+    """The JSON-serializable form of a spec (inverse of :func:`spec_from_dict`)."""
+    payload = {
+        "name": spec.name,
+        "deployment": asdict(spec.deployment),
+        "workload": asdict(spec.workload),
+    }
+    payload["deployment"]["models"] = list(spec.deployment.models)
+    if spec.sweep is not None:
+        payload["sweep"] = {"axis": spec.sweep.axis, "values": list(spec.sweep.values)}
+    if spec.slo is not None:
+        payload["slo"] = asdict(spec.slo)
+    return payload
+
+
+def load_spec(path: PathLike) -> LoadTestSpec:
+    """Load and validate a spec JSON file."""
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON: {error}") from None
+    try:
+        return spec_from_dict(payload)
+    except ValueError as error:
+        raise ValueError(f"{path}: {error}") from None
+
+
+def save_spec(spec: LoadTestSpec, path: PathLike) -> None:
+    """Write a spec as pretty-printed JSON (round-trips via :func:`load_spec`)."""
+    Path(path).write_text(json.dumps(spec_to_dict(spec), indent=2) + "\n", encoding="utf-8")

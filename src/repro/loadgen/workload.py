@@ -1,0 +1,211 @@
+"""Workload generators: seeded arrival processes, query mixes, model skew.
+
+Everything here is *planning*: a :class:`WorkloadPlan` is the full request
+sequence of one run — arrival offsets, (head, relation) queries sampled from
+a dataset's held-out triples, and the hosted model each request targets —
+computed up front from seeded child RNG streams.  Replaying the same spec
+with the same seed therefore reproduces the identical arrival and query
+sequence, which is what makes capacity numbers comparable across runs.
+
+Three independent child streams per sweep point (arrivals, queries, model
+skew) are spawned from the workload seed via :func:`~repro.utils.rng.
+spawn_rngs`, so e.g. changing the arrival process never perturbs which
+queries are sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.loadgen.spec import LoadTestSpec, WorkloadSpec
+from repro.utils.rng import spawn_rngs
+
+__all__ = [
+    "PlannedRequest",
+    "WorkloadPlan",
+    "plan_point",
+    "plan_sweep",
+    "poisson_offsets",
+    "query_mix",
+    "zipf_weights",
+]
+
+# Closed-loop plans are consumed until the duration elapses; this bound keeps
+# the pre-computed sequence finite when no max_requests is specified.
+DEFAULT_CLOSED_LOOP_PLAN = 4096
+
+
+@dataclass(frozen=True)
+class PlannedRequest:
+    """One planned request: when to submit it, to which model, asking what."""
+
+    offset_s: float
+    model: str
+    head: int
+    relation: int
+    k: int
+
+
+@dataclass(frozen=True)
+class WorkloadPlan:
+    """The deterministic request sequence of one run (one sweep point)."""
+
+    mode: str  # "open" | "closed"
+    offered_qps: Optional[float]  # open-loop target rate; None when closed
+    concurrency: int  # closed-loop workers; 1 when open
+    duration_s: float
+    requests: Tuple[PlannedRequest, ...]
+
+
+def query_mix(dataset) -> List[Tuple[int, int]]:
+    """The query pool serving traffic is sampled from: held-out triples.
+
+    Test plus validation splits, as (head, relation) id pairs — the same
+    convention as the serving throughput benchmark's workload.
+    """
+    triples = list(dataset.splits.test) + list(dataset.splits.valid)
+    if not triples:
+        raise ValueError("dataset has no held-out triples to sample queries from")
+    return [(t.head, t.relation) for t in triples]
+
+
+def zipf_weights(count: int, exponent: float) -> np.ndarray:
+    """Normalized Zipf probabilities over ``count`` ranks (exponent 0 = uniform)."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** (-float(exponent))
+    return weights / weights.sum()
+
+
+def poisson_offsets(qps: float, duration_s: float, rng: np.random.Generator) -> List[float]:
+    """Arrival offsets (seconds) of a Poisson process at rate ``qps``.
+
+    Exponential inter-arrival gaps accumulated until ``duration_s``; the
+    number of arrivals is itself random (open-loop traffic is bursty by
+    construction — that is the point of the model).
+    """
+    if qps <= 0:
+        raise ValueError("qps must be > 0")
+    offsets: List[float] = []
+    clock = 0.0
+    while True:
+        clock += float(rng.exponential(1.0 / qps))
+        if clock >= duration_s:
+            return offsets
+        offsets.append(clock)
+
+
+def plan_point(
+    workload: WorkloadSpec,
+    queries: Sequence[Tuple[int, int]],
+    models: Sequence[str],
+    k: int,
+    *,
+    qps: Optional[float] = None,
+    concurrency: Optional[int] = None,
+    rng,
+) -> WorkloadPlan:
+    """Plan one run at an explicit operating point.
+
+    ``qps``/``concurrency`` override the workload's base values (that is how
+    the sweep ramps the axis); ``rng`` seeds this point's three child streams.
+    """
+    arrival_rng, query_rng, model_rng = spawn_rngs(rng, 3)
+    mode = workload.mode
+    if mode == "open":
+        target_qps = float(qps if qps is not None else workload.qps)
+        offsets = poisson_offsets(target_qps, workload.duration_s, arrival_rng)
+        count = len(offsets)
+        workers = 1
+    else:
+        target_qps = None
+        count = workload.max_requests or DEFAULT_CLOSED_LOOP_PLAN
+        offsets = [0.0] * count
+        workers = int(concurrency if concurrency is not None else workload.concurrency)
+
+    query_indices = query_rng.integers(0, len(queries), size=count)
+    weights = zipf_weights(len(models), workload.model_skew)
+    model_indices = model_rng.choice(len(models), size=count, p=weights)
+
+    requests = tuple(
+        PlannedRequest(
+            offset_s=offsets[i],
+            model=models[int(model_indices[i])],
+            head=queries[int(query_indices[i])][0],
+            relation=queries[int(query_indices[i])][1],
+            k=k,
+        )
+        for i in range(count)
+    )
+    return WorkloadPlan(
+        mode=mode,
+        offered_qps=target_qps,
+        concurrency=workers,
+        duration_s=workload.duration_s,
+        requests=requests,
+    )
+
+
+def plan_sweep(
+    spec: LoadTestSpec,
+    queries: Sequence[Tuple[int, int]],
+    models: Sequence[str],
+) -> List[WorkloadPlan]:
+    """Plan every sweep point (or the single base point) of a spec.
+
+    Pure function of (spec, queries, models): each point gets its own child
+    RNG stream spawned from ``workload.seed``, so two calls return identical
+    plans and adding a sweep point never changes the earlier points'
+    sequences.
+    """
+    k = spec.deployment.k
+    if spec.sweep is None:
+        point_rng = spawn_rngs(spec.workload.seed, 1)[0]
+        return [plan_point(spec.workload, queries, models, k, rng=point_rng)]
+    # One extra stream is reserved for the SLO validation point the report
+    # runs after the knee is known (see runner.plan_slo_point).
+    point_rngs = spawn_rngs(spec.workload.seed, len(spec.sweep.values) + 1)
+    plans = []
+    for value, point_rng in zip(spec.sweep.values, point_rngs):
+        if spec.sweep.axis == "qps":
+            plans.append(plan_point(spec.workload, queries, models, k, qps=value, rng=point_rng))
+        else:
+            plans.append(
+                plan_point(
+                    spec.workload, queries, models, k, concurrency=int(value), rng=point_rng
+                )
+            )
+    return plans
+
+
+def plan_slo_point(
+    spec: LoadTestSpec,
+    queries: Sequence[Tuple[int, int]],
+    models: Sequence[str],
+    target_qps: float,
+) -> WorkloadPlan:
+    """Plan the open-loop SLO validation run at ``target_qps``.
+
+    Uses the reserved child stream (the one after the sweep points), so the
+    validation sequence is just as replayable as the sweep itself.
+    """
+    count = len(spec.sweep.values) if spec.sweep is not None else 0
+    point_rng = spawn_rngs(spec.workload.seed, count + 1)[-1]
+    open_workload = (
+        spec.workload
+        if spec.workload.mode == "open"
+        else WorkloadSpec(
+            mode="open",
+            qps=target_qps,
+            duration_s=spec.workload.duration_s,
+            model_skew=spec.workload.model_skew,
+            seed=spec.workload.seed,
+        )
+    )
+    return plan_point(
+        open_workload, queries, models, spec.deployment.k, qps=target_qps, rng=point_rng
+    )

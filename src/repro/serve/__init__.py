@@ -32,6 +32,12 @@ On top of the reasoners sits the model registry and the serving daemon:
   ``GET /v1/models``, per-model ``/stats``) plus the legacy default-model
   endpoints, hot-swap ``reload()`` that drains in-flight batches, and
   seeded-RNG canary routing via ``route()``.
+
+:class:`ServerStats` additionally keeps per-stage latency windows
+(:data:`STAGES`: queue wait -> batch-assembly wait -> compute), the raw
+material of the load-test harness's capacity reports (:mod:`repro.loadgen`),
+and ``healthz_dict()`` turns ``GET /healthz`` into a real readiness probe:
+per-model readiness, 503 the moment a drain starts.
 """
 
 from repro.serve.batcher import BatcherClosed, BatchRequest, DynamicBatcher, execute_batch
@@ -47,6 +53,7 @@ from repro.serve.reasoner import (
 )
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.server import (
+    STAGES,
     CanaryRoute,
     ModelPool,
     QueryRequest,
@@ -73,6 +80,7 @@ __all__ = [
     "ReasonerProtocol",
     "ReasoningServer",
     "RuleReasonerAdapter",
+    "STAGES",
     "ServerStats",
     "dataset_fingerprint",
     "execute_batch",

@@ -32,11 +32,21 @@ class BatcherClosed(RuntimeError):
 
 @dataclass
 class BatchRequest:
-    """One queued request: its payload, result future, and arrival time."""
+    """One queued request: its payload, result future, and stage timestamps.
+
+    ``enqueued_at`` is stamped at submission; the batcher stamps
+    ``assembly_started_at`` (a worker began coalescing the batch that will
+    carry this request) and ``dequeued_at`` (the batch flushed to the worker)
+    when the request leaves the queue.  The three timestamps let the serving
+    stats split total latency into queue wait (enqueue -> assembly), batch
+    wait (assembly -> flush) and compute (flush -> completion).
+    """
 
     payload: Any
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
+    assembly_started_at: Optional[float] = None
+    dequeued_at: Optional[float] = None
 
 
 class DynamicBatcher:
@@ -95,6 +105,7 @@ class DynamicBatcher:
                     self._condition.wait(wait)
                 # Coalesce: hold the batch open until it fills or the oldest
                 # request has waited its max_wait_ms budget.
+                assembly_started = time.monotonic()
                 flush_at = self._queue[0].enqueued_at + self.max_wait_ms / 1000.0
                 while len(self._queue) < self.max_batch_size and not self._closed:
                     remaining = flush_at - time.monotonic()
@@ -107,7 +118,14 @@ class DynamicBatcher:
                     # empty batch.
                     continue
                 size = min(self.max_batch_size, len(self._queue))
-                return [self._queue.popleft() for _ in range(size)]
+                dequeued = time.monotonic()
+                batch = []
+                for _ in range(size):
+                    request = self._queue.popleft()
+                    request.assembly_started_at = assembly_started
+                    request.dequeued_at = dequeued
+                    batch.append(request)
+                return batch
 
     # ------------------------------------------------------------------ control
     @property

@@ -46,6 +46,7 @@ from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.utils.rng import new_rng
 
 __all__ = [
+    "STAGES",
     "CanaryRoute",
     "ModelPool",
     "QueryRequest",
@@ -90,12 +91,21 @@ def _percentile(sample: Sequence[float], fraction: float) -> float:
     return ordered[lower] + (ordered[upper] - ordered[lower]) * weight
 
 
+# The per-stage components of one request's latency, in dispatch order:
+# queue wait (enqueue -> a worker starts assembling its batch), batch wait
+# (assembly -> the batch flushes to the worker) and compute (flush -> done).
+STAGES = ("queue_wait", "batch_wait", "compute")
+
+
 @dataclass
 class ServerStats:
     """Running counters of one hosted model, exposed via the stats endpoints.
 
     Latency percentiles are computed over a sliding window of the most
-    recent :data:`_LATENCY_WINDOW` requests (queueing + execution time).
+    recent :data:`_LATENCY_WINDOW` requests (queueing + execution time);
+    the per-stage breakdown (:data:`STAGES`) keeps its own windows of the
+    same size so capacity reports can attribute latency to queue wait,
+    batch-assembly wait, or compute.
     """
 
     requests_total: int = 0
@@ -104,6 +114,12 @@ class ServerStats:
     batch_size_histogram: Dict[int, int] = field(default_factory=dict)
     _latencies: Deque[float] = field(
         default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+    _stages: Dict[str, Deque[float]] = field(
+        default_factory=lambda: {
+            stage: deque(maxlen=_LATENCY_WINDOW) for stage in STAGES
+        },
+        repr=False,
     )
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -120,6 +136,15 @@ class ServerStats:
                 self.errors_total += 1
             self._latencies.append(latency_s)
 
+    def record_stage_times(
+        self, queue_wait_s: float, batch_wait_s: float, compute_s: float
+    ) -> None:
+        """Record one request's per-stage latency split (seconds)."""
+        with self._lock:
+            self._stages["queue_wait"].append(queue_wait_s)
+            self._stages["batch_wait"].append(batch_wait_s)
+            self._stages["compute"].append(compute_s)
+
     # ----------------------------------------------------------------- reporting
     @property
     def mean_batch_size(self) -> float:
@@ -131,6 +156,19 @@ class ServerStats:
         with self._lock:
             return 1000.0 * _percentile(list(self._latencies), fraction)
 
+    def stage_percentile_ms(self, stage: str, fraction: float) -> float:
+        with self._lock:
+            return 1000.0 * _percentile(list(self._stages[stage]), fraction)
+
+    def stage_samples(self) -> Dict[str, List[float]]:
+        """A snapshot of the per-stage latency windows (seconds, oldest first)."""
+        with self._lock:
+            return {stage: list(samples) for stage, samples in self._stages.items()}
+
+    def error_rate(self) -> float:
+        with self._lock:
+            return self.errors_total / self.requests_total if self.requests_total else 0.0
+
     def to_dict(self, queue_depth: int = 0) -> dict:
         with self._lock:
             histogram = {
@@ -140,6 +178,14 @@ class ServerStats:
             requests_total = self.requests_total
             errors_total = self.errors_total
             batches_total = self.batches_total
+            stages = {stage: list(samples) for stage, samples in self._stages.items()}
+        stage_block = {}
+        for stage, samples in stages.items():
+            stage_block[f"{stage}_ms"] = {
+                "mean": 1000.0 * (sum(samples) / len(samples)) if samples else 0.0,
+                "p50": 1000.0 * _percentile(samples, 0.50),
+                "p99": 1000.0 * _percentile(samples, 0.99),
+            }
         return {
             "requests_total": requests_total,
             "errors_total": errors_total,
@@ -149,6 +195,7 @@ class ServerStats:
             "mean_batch_size": self.mean_batch_size,
             "latency_p50_ms": self.latency_percentile_ms(0.50),
             "latency_p99_ms": self.latency_percentile_ms(0.99),
+            "stages": stage_block,
         }
 
 
@@ -242,6 +289,22 @@ class _ModelEntry:
                 return
             self.stats.record_batch(len(batch))
             self._process(replica, batch)
+            completed = time.monotonic()
+            for request in batch:
+                # A request that arrived while the batch was already
+                # coalescing never waited in the queue; its wait is all
+                # batch-assembly time.
+                dequeued = request.dequeued_at if request.dequeued_at is not None else completed
+                assembly = (
+                    request.assembly_started_at
+                    if request.assembly_started_at is not None
+                    else dequeued
+                )
+                self.stats.record_stage_times(
+                    max(0.0, assembly - request.enqueued_at),
+                    max(0.0, dequeued - max(assembly, request.enqueued_at)),
+                    max(0.0, completed - dequeued),
+                )
 
     def _process(self, replica, batch: List[BatchRequest]) -> None:
         # query_batch answers one k for the whole batch; group mixed-k
@@ -410,6 +473,7 @@ class ReasoningServer:
         self._route_lock = threading.Lock()
         self._route_rng = new_rng(seed)
         self._started = False
+        self._shutting_down = False
         if reasoner is not None:
             self.add_model(reasoner=reasoner, name=default_model)
         elif default_model is not None:
@@ -524,11 +588,18 @@ class ReasoningServer:
         if self._started:
             return self
         self._started = True
+        self._shutting_down = False
         self.pool.start()
         return self
 
     def close(self) -> None:
-        """Stop accepting work and wait for queued requests to drain."""
+        """Stop accepting work and wait for queued requests to drain.
+
+        The shutdown flag flips *before* the pool drains, so ``/healthz``
+        reports 503 for the whole drain window — a load balancer stops
+        sending traffic to a daemon that is already refusing submissions.
+        """
+        self._shutting_down = True
         self.pool.close()
         self._started = False
 
@@ -597,6 +668,33 @@ class ReasoningServer:
 
     def stats_dict(self, model: Optional[str] = None) -> dict:
         return self.pool.entry(model or self._require_default()).stats_dict()
+
+    def healthz_dict(self) -> tuple:
+        """``(healthy, payload)`` for ``GET /healthz``.
+
+        Healthy means the server is started, not shutting down, and every
+        hosted model's worker group still accepts submissions; the payload
+        carries per-model readiness so a load balancer can tell a draining
+        daemon from one with a single wedged worker group.
+        """
+        models = {}
+        for name in self.pool.names():
+            entry = self.pool.entry(name)
+            models[name] = {"ready": not entry.batcher.closed}
+            if entry.version is not None:
+                models[name]["version"] = entry.version
+        healthy = (
+            self._started
+            and not self._shutting_down
+            and all(model["ready"] for model in models.values())
+        )
+        if self._shutting_down:
+            status = "draining"
+        elif healthy:
+            status = "ok"
+        else:
+            status = "unready"
+        return healthy, {"status": status, "models": models}
 
     def models_dict(self) -> dict:
         """The ``GET /v1/models`` listing: every hosted model and its route."""
@@ -769,7 +867,8 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if self.path == "/stats":
             self._send_json(200, self.reasoning.stats_dict())
         elif self.path == "/healthz":
-            self._send_json(200, {"status": "ok"})
+            healthy, payload = self.reasoning.healthz_dict()
+            self._send_json(200 if healthy else 503, payload)
         elif self.path == "/v1/models":
             self._send_json(200, self.reasoning.models_dict())
         elif (name := self._model_path("stats")) is not None:

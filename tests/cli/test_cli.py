@@ -75,6 +75,29 @@ class TestParser:
         assert args.max_wait_ms == 5.0
         assert args.workers == 1
         assert not args.stdio
+        assert args.stats_interval is None
+
+    def test_serve_stats_interval_parses(self):
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint", "ckpt", "--stats-interval", "2"]
+        )
+        assert args.stats_interval == 2.0
+
+    def test_loadtest_defaults(self):
+        args = build_parser().parse_args(["loadtest", "run", "spec.json"])
+        assert args.loadtest_command == "run"
+        assert args.spec == "spec.json"
+        assert args.output is None
+        assert not args.enforce_slo
+        args = build_parser().parse_args(
+            ["loadtest", "sweep", "spec.json", "--output", "r.json", "--enforce-slo"]
+        )
+        assert args.loadtest_command == "sweep"
+        assert args.output == "r.json" and args.enforce_slo
+
+    def test_loadtest_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest"])
 
 
 class TestDatasetCommands:
@@ -341,6 +364,127 @@ class TestQueryCommands:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "reasoning path" in captured
+
+
+class TestLoadtestCommand:
+    @staticmethod
+    def _spec_payload(**slo) -> dict:
+        return {
+            "name": "cli-smoke",
+            "deployment": {
+                "preset": "tiny",
+                "models": ["mmkgr"],
+                "dataset": "wn9-img-txt",
+                "scale": 0.2,
+                "seed": 3,
+                "max_wait_ms": 2.0,
+                "k": 3,
+            },
+            "workload": {
+                "mode": "closed",
+                "concurrency": 2,
+                "duration_s": 0.3,
+                "max_requests": 12,
+                "seed": 5,
+            },
+            **({"slo": slo} if slo else {}),
+        }
+
+    def test_run_prints_table_and_writes_report(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self._spec_payload(p99_ms=60_000.0)))
+        output = tmp_path / "report.json"
+        exit_code = main(["loadtest", "run", str(spec_path), "--output", str(output)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "cli-smoke" in captured and "compute p50" in captured
+        report = json.loads(output.read_text())
+        assert report["mode"] == "run" and len(report["points"]) == 1
+        point = report["points"][0]
+        assert point["completed"] > 0 and point["errors"] == 0
+        assert set(point["stages_ms"]) == {"queue_wait", "batch_wait", "compute"}
+        assert report["slo"]["passed"] is True
+
+    def test_enforce_slo_failure_exits_1(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self._spec_payload(p99_ms=0.000001)))
+        exit_code = main(["loadtest", "run", str(spec_path), "--enforce-slo"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "SLO failed" in captured.err
+        assert "SLO FAIL" in captured.out
+
+    def test_missing_spec_file_exits_2(self, tmp_path, capsys):
+        exit_code = main(["loadtest", "run", str(tmp_path / "missing.json")])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_invalid_spec_exits_2(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"workload": {"mode": "bogus"}}))
+        exit_code = main(["loadtest", "run", str(spec_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "workload.mode" in captured.err
+
+
+class _FakeStatsServer:
+    """Just enough server surface for the stats-logger helpers."""
+
+    class _Pool:
+        @staticmethod
+        def names():
+            return ["mmkgr"]
+
+    pool = _Pool()
+
+    @staticmethod
+    def stats_dict(model=None):
+        return {"requests_total": 4, "stages": {}}
+
+
+class TestStatsLogger:
+    def test_snapshot_line_is_one_json_object(self):
+        from repro.cli.main import _stats_snapshot_line
+
+        payload = json.loads(_stats_snapshot_line(_FakeStatsServer()))
+        assert "ts" in payload
+        assert payload["models"]["mmkgr"]["requests_total"] == 4
+
+    def test_logger_emits_periodically_until_stopped(self):
+        import time
+
+        from repro.cli.main import _start_stats_logger
+
+        stream = io.StringIO()
+        stop = _start_stats_logger(_FakeStatsServer(), interval_s=0.01, stream=stream)
+        time.sleep(0.15)
+        stop.set()
+        time.sleep(0.05)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) >= 2
+        assert all(json.loads(line)["models"] for line in lines)
+
+    def test_serve_stdio_with_stats_interval(self, trained_checkpoint, capsys, monkeypatch):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"head": 0, "relation": 1, "k": 3}) + "\n")
+        )
+        exit_code = main(
+            [
+                "serve",
+                "--checkpoint", trained_checkpoint,
+                "--stdio",
+                "--max-wait-ms", "5",
+                "--stats-interval", "0.01",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "predictions" in captured.out
+        # Any snapshot lines that made it out before shutdown are valid JSON.
+        for line in captured.err.strip().splitlines():
+            assert "models" in json.loads(line)
 
 
 class TestModelsCommands:

@@ -1,0 +1,171 @@
+"""Knee detection, SLO verdicts, metering, and report rendering on synthetic data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen import (
+    DriveResult,
+    RequestRecord,
+    SLOSpec,
+    WorkloadPlan,
+    build_report,
+    evaluate_slo,
+    find_knee,
+    percentile,
+    point_metrics,
+    render_report_text,
+    stage_breakdown_ms,
+)
+
+
+def qps_point(target: float, offered: float, achieved: float) -> dict:
+    return {
+        "target_qps": target,
+        "offered_qps": offered,
+        "achieved_qps": achieved,
+        "error_rate": 0.0,
+        "latency_ms": {"p50": 2.0, "p99": 8.0, "p99.9": 9.0, "mean": 3.0},
+        "stages_ms": {
+            stage: {"mean_ms": 1.0, "p50_ms": 1.0, "p99_ms": 2.0}
+            for stage in ("queue_wait", "batch_wait", "compute")
+        },
+    }
+
+
+class TestFindKnee:
+    def test_knee_is_last_efficient_point(self):
+        points = [
+            qps_point(50, 48.0, 47.5),
+            qps_point(100, 101.0, 99.0),
+            qps_point(200, 198.0, 120.0),  # sheds 40%: saturated
+        ]
+        knee = find_knee(points, axis="qps")
+        assert knee["qps"] == 100
+        assert knee["saturated"] is True
+
+    def test_unsaturated_sweep_reports_last_point(self):
+        points = [qps_point(50, 49.0, 48.0), qps_point(100, 103.0, 102.0)]
+        knee = find_knee(points, axis="qps")
+        assert knee["qps"] == 100
+        assert knee["saturated"] is False
+
+    def test_efficiency_uses_realized_offered_rate(self):
+        # Nominal 50 qps but the Poisson draw realized only 30 arrivals/s;
+        # achieved 29 tracks the realized rate, so the point is efficient.
+        points = [qps_point(50, 30.0, 29.0)]
+        knee = find_knee(points, axis="qps")
+        assert knee["qps"] == 50
+        assert knee["saturated"] is False
+
+    def test_first_point_saturated_falls_back_to_achieved(self):
+        points = [qps_point(50, 50.0, 20.0), qps_point(100, 100.0, 21.0)]
+        knee = find_knee(points, axis="qps")
+        assert knee["qps"] == 20.0
+        assert knee["saturated"] is True
+
+    def test_concurrency_axis_finds_throughput_plateau(self):
+        points = [
+            {"achieved_qps": 40.0},
+            {"achieved_qps": 95.0},
+            {"achieved_qps": 100.0},
+        ]
+        knee = find_knee(points, axis="concurrency")
+        assert knee["qps"] == 95.0  # first point within 90% of the plateau
+        assert knee["saturated"] is True
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="knee"):
+            find_knee([], axis="qps")
+
+
+class TestEvaluateSlo:
+    def test_pass_and_fail(self):
+        slo = SLOSpec(p99_ms=50.0, at_fraction_of_knee=0.8)
+        verdict = evaluate_slo(slo, knee_qps=100.0, measured_p99_ms=12.0, target_qps=80.0)
+        assert verdict["passed"] is True and verdict["target_qps"] == 80.0
+        verdict = evaluate_slo(slo, knee_qps=100.0, measured_p99_ms=51.0, target_qps=80.0)
+        assert verdict["passed"] is False
+
+
+class TestMetering:
+    def test_percentile_interpolates(self):
+        sample = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(sample, 0.5) == 25.0
+        assert percentile(sample, 0.0) == 10.0
+        assert percentile(sample, 1.0) == 40.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_stage_breakdown_converts_to_ms(self):
+        breakdown = stage_breakdown_ms({"compute": [0.001, 0.003], "queue_wait": []})
+        assert breakdown["compute"]["mean_ms"] == pytest.approx(2.0)
+        assert breakdown["queue_wait"]["p99_ms"] == 0.0
+
+    def _result(self) -> DriveResult:
+        records = []
+        for i in range(10):
+            record = RequestRecord(
+                index=i,
+                model="a" if i % 2 == 0 else "b",
+                head=1,
+                relation=2,
+                k=5,
+                planned_offset_s=0.05 * i,
+                submitted_s=0.05 * i,
+                completed_s=0.05 * i + 0.010,
+            )
+            if i == 9:
+                record.error = "boom"
+            records.append(record)
+        return DriveResult(records=records, wall_clock_s=0.5)
+
+    def test_open_loop_metrics(self):
+        plan = WorkloadPlan(
+            mode="open", offered_qps=25.0, concurrency=1, duration_s=0.5, requests=()
+        )
+        point = point_metrics(self._result(), {"compute": [0.01]}, plan)
+        assert point["requests"] == 10 and point["completed"] == 9 and point["errors"] == 1
+        assert point["error_rate"] == pytest.approx(0.1)
+        assert point["target_qps"] == 25.0
+        assert point["offered_qps"] == pytest.approx(20.0)  # 10 arrivals / 0.5 s realized
+        assert point["achieved_qps"] == pytest.approx(18.0)  # 9 completed / 0.5 s wall
+        assert point["latency_ms"]["p50"] == pytest.approx(10.0)
+        assert point["requests_per_model"] == {"a": 5, "b": 5}
+
+    def test_closed_loop_offered_equals_achieved(self):
+        plan = WorkloadPlan(
+            mode="closed", offered_qps=None, concurrency=2, duration_s=0.5, requests=()
+        )
+        point = point_metrics(self._result(), {}, plan)
+        assert point["target_qps"] is None
+        assert point["offered_qps"] == point["achieved_qps"]
+
+
+class TestRenderReport:
+    def test_render_includes_knee_and_slo(self):
+        points = [qps_point(50, 49.0, 48.0)]
+        for point in points:
+            point.update({"requests": 25, "completed": 25, "errors": 0})
+        report = build_report(
+            {"name": "demo"},
+            mode="sweep",
+            points=points,
+            knee=find_knee(points, axis="qps"),
+            slo=evaluate_slo(
+                SLOSpec(p99_ms=50.0, at_fraction_of_knee=0.8),
+                knee_qps=50.0,
+                measured_p99_ms=8.0,
+                target_qps=40.0,
+            ),
+        )
+        text = render_report_text(report)
+        assert "demo" in text
+        assert "saturation knee: 50.0 qps" in text
+        assert "SLO PASS" in text
+        assert "compute p50" in text
+
+    def test_render_minimal_run_report(self):
+        points = [qps_point(None, 10.0, 10.0)]
+        text = render_report_text(build_report({"name": "r"}, mode="run", points=points))
+        assert "run (1 point(s))" in text
+        assert "knee" not in text

@@ -1,0 +1,137 @@
+"""Spec parsing: defaults, validation, typo rejection, JSON round trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadgen import (
+    LoadTestSpec,
+    load_spec,
+    save_spec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+def minimal_payload() -> dict:
+    return {
+        "name": "unit",
+        "deployment": {"preset": "tiny", "models": ["a", "b"]},
+        "workload": {"mode": "open", "qps": 40, "duration_s": 0.5},
+        "sweep": {"axis": "qps", "values": [20, 40]},
+        "slo": {"p99_ms": 50, "at_fraction_of_knee": 0.8},
+    }
+
+
+class TestParsing:
+    def test_minimal_spec_parses_with_defaults(self):
+        spec = spec_from_dict({"deployment": {}, "workload": {}})
+        assert spec.name == "loadtest"
+        assert spec.deployment.preset == "tiny"
+        assert spec.deployment.models == ("mmkgr",)
+        assert spec.workload.mode == "open"
+        assert spec.sweep is None and spec.slo is None
+
+    def test_full_spec_parses(self):
+        spec = spec_from_dict(minimal_payload())
+        assert spec.deployment.models == ("a", "b")
+        assert spec.sweep.values == (20, 40)
+        assert spec.slo.p99_ms == 50
+
+    def test_unknown_top_level_key_rejected(self):
+        payload = minimal_payload()
+        payload["wokload"] = payload.pop("workload")  # the classic typo
+        with pytest.raises(ValueError, match="unknown top-level key.*wokload"):
+            spec_from_dict(payload)
+
+    def test_unknown_section_key_rejected(self):
+        payload = minimal_payload()
+        payload["workload"]["qsp"] = 10
+        with pytest.raises(ValueError, match="unknown key.*qsp.*workload"):
+            spec_from_dict(payload)
+
+    def test_non_object_spec_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            spec_from_dict([1, 2])
+
+
+class TestValidation:
+    def test_bad_workload_mode(self):
+        payload = minimal_payload()
+        payload["workload"]["mode"] = "semi"
+        payload.pop("sweep")
+        with pytest.raises(ValueError, match="workload.mode"):
+            spec_from_dict(payload)
+
+    def test_unsorted_sweep_rejected(self):
+        payload = minimal_payload()
+        payload["sweep"]["values"] = [40, 20]
+        with pytest.raises(ValueError, match="sorted ascending"):
+            spec_from_dict(payload)
+
+    def test_qps_sweep_requires_open_loop(self):
+        payload = minimal_payload()
+        payload["workload"]["mode"] = "closed"
+        with pytest.raises(ValueError, match="qps sweep requires"):
+            spec_from_dict(payload)
+
+    def test_concurrency_sweep_requires_closed_loop(self):
+        payload = minimal_payload()
+        payload["sweep"] = {"axis": "concurrency", "values": [1, 2]}
+        with pytest.raises(ValueError, match="concurrency sweep requires"):
+            spec_from_dict(payload)
+
+    def test_empty_models_rejected(self):
+        payload = minimal_payload()
+        payload["deployment"]["models"] = []
+        with pytest.raises(ValueError, match="at least one model"):
+            spec_from_dict(payload)
+
+    def test_unknown_preset_rejected(self):
+        payload = minimal_payload()
+        payload["deployment"]["preset"] = "enormous"
+        with pytest.raises(ValueError, match="deployment.preset"):
+            spec_from_dict(payload)
+
+    def test_bad_slo_fraction_rejected(self):
+        payload = minimal_payload()
+        payload["slo"]["at_fraction_of_knee"] = 1.5
+        with pytest.raises(ValueError, match="at_fraction_of_knee"):
+            spec_from_dict(payload)
+
+    def test_registry_deployment_needs_no_preset(self):
+        payload = minimal_payload()
+        payload["deployment"] = {"registry": "/tmp/reg", "models": ["mmkgr@prod"], "preset": None}
+        assert spec_from_dict(payload).deployment.registry == "/tmp/reg"
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        spec = spec_from_dict(minimal_payload())
+        path = tmp_path / "spec.json"
+        save_spec(spec, path)
+        assert load_spec(path) == spec
+
+    def test_spec_to_dict_is_json_serializable(self):
+        spec = spec_from_dict(minimal_payload())
+        payload = json.loads(json.dumps(spec_to_dict(spec)))
+        assert spec_from_dict(payload) == spec
+
+    def test_load_spec_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_spec(path)
+
+    def test_load_spec_reports_file_in_errors(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"workload": {"mode": "bogus"}}), encoding="utf-8")
+        with pytest.raises(ValueError, match="spec.json"):
+            load_spec(path)
+
+    def test_defaults_construct_directly(self):
+        spec = LoadTestSpec()
+        spec.validate()
+        assert spec.workload.qps > 0

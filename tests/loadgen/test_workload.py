@@ -1,0 +1,164 @@
+"""Workload planning: seeded determinism, Poisson arrivals, Zipf skew."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loadgen import (
+    DeploymentSpec,
+    LoadTestSpec,
+    SweepSpec,
+    WorkloadSpec,
+    plan_point,
+    plan_slo_point,
+    plan_sweep,
+    poisson_offsets,
+    query_mix,
+    zipf_weights,
+)
+
+QUERIES = [(h, r) for h in range(20) for r in range(3)]
+MODELS = ["hot", "warm", "cold"]
+
+
+def sweep_spec(skew: float = 0.0, seed: int = 7) -> LoadTestSpec:
+    return LoadTestSpec(
+        name="plan-unit",
+        deployment=DeploymentSpec(models=tuple(MODELS), k=5),
+        workload=WorkloadSpec(
+            mode="open", qps=200.0, duration_s=0.5, model_skew=skew, seed=seed
+        ),
+        sweep=SweepSpec(axis="qps", values=(50.0, 100.0, 200.0)),
+    )
+
+
+class TestPoissonOffsets:
+    def test_rate_close_to_target(self):
+        rng = np.random.default_rng(0)
+        offsets = poisson_offsets(qps=500.0, duration_s=20.0, rng=rng)
+        assert len(offsets) == pytest.approx(10_000, rel=0.05)
+        assert all(0 <= o < 20.0 for o in offsets)
+        assert offsets == sorted(offsets)
+
+    def test_deterministic_given_seed(self):
+        a = poisson_offsets(100.0, 1.0, np.random.default_rng(3))
+        b = poisson_offsets(100.0, 1.0, np.random.default_rng(3))
+        assert a == b
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError, match="qps"):
+            poisson_offsets(0.0, 1.0, np.random.default_rng(0))
+
+
+class TestZipfWeights:
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert np.allclose(weights, 0.25)
+
+    def test_positive_exponent_skews_to_first_rank(self):
+        weights = zipf_weights(3, 1.2)
+        assert weights[0] > weights[1] > weights[2]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="count"):
+            zipf_weights(0, 1.0)
+
+
+class TestPlanPoint:
+    def test_open_plan_shape(self):
+        workload = WorkloadSpec(mode="open", qps=300.0, duration_s=0.5, seed=1)
+        plan = plan_point(workload, QUERIES, MODELS, k=5, rng=1)
+        assert plan.mode == "open" and plan.concurrency == 1
+        assert plan.offered_qps == 300.0
+        assert all(0 <= r.offset_s < 0.5 for r in plan.requests)
+        assert all((r.head, r.relation) in set(QUERIES) for r in plan.requests)
+        assert all(r.model in MODELS and r.k == 5 for r in plan.requests)
+
+    def test_closed_plan_shape(self):
+        workload = WorkloadSpec(
+            mode="closed", concurrency=3, duration_s=0.2, max_requests=17, seed=1
+        )
+        plan = plan_point(workload, QUERIES, MODELS, k=2, rng=1)
+        assert plan.mode == "closed" and plan.concurrency == 3
+        assert plan.offered_qps is None
+        assert len(plan.requests) == 17
+        assert all(r.offset_s == 0.0 for r in plan.requests)
+
+    def test_skew_concentrates_on_first_model(self):
+        workload = WorkloadSpec(mode="open", qps=2000.0, duration_s=1.0, model_skew=1.5, seed=5)
+        plan = plan_point(workload, QUERIES, MODELS, k=5, rng=5)
+        counts = {m: 0 for m in MODELS}
+        for request in plan.requests:
+            counts[request.model] += 1
+        assert counts["hot"] > counts["warm"] > counts["cold"]
+        assert counts["hot"] > len(plan.requests) / 2
+
+
+class TestReplayDeterminism:
+    """Acceptance: same spec + seed ⇒ identical arrival and query sequences."""
+
+    def test_plan_sweep_replays_identically(self):
+        spec = sweep_spec(skew=0.8)
+        first = plan_sweep(spec, QUERIES, MODELS)
+        second = plan_sweep(spec, QUERIES, MODELS)
+        assert first == second
+        assert len(first) == 3
+
+    def test_different_seed_changes_sequence(self):
+        base = plan_sweep(sweep_spec(seed=7), QUERIES, MODELS)
+        other = plan_sweep(sweep_spec(seed=8), QUERIES, MODELS)
+        assert base != other
+
+    def test_points_use_independent_streams(self):
+        plans = plan_sweep(sweep_spec(), QUERIES, MODELS)
+        # Same nominal duration but distinct arrival draws per point.
+        assert plans[0].requests != plans[1].requests
+
+    def test_slo_point_does_not_perturb_sweep(self):
+        spec = sweep_spec()
+        before = plan_sweep(spec, QUERIES, MODELS)
+        slo_plan = plan_slo_point(spec, QUERIES, MODELS, target_qps=120.0)
+        after = plan_sweep(spec, QUERIES, MODELS)
+        assert before == after
+        assert slo_plan.mode == "open" and slo_plan.offered_qps == 120.0
+        # The reserved stream differs from every sweep point's stream.
+        assert all(slo_plan.requests != plan.requests for plan in before)
+
+    def test_slo_point_replays_identically(self):
+        spec = sweep_spec()
+        a = plan_slo_point(spec, QUERIES, MODELS, target_qps=90.0)
+        b = plan_slo_point(spec, QUERIES, MODELS, target_qps=90.0)
+        assert a == b
+
+
+class TestSweepAxes:
+    def test_concurrency_sweep_ramps_workers(self):
+        spec = LoadTestSpec(
+            deployment=DeploymentSpec(models=("m",)),
+            workload=WorkloadSpec(mode="closed", duration_s=0.1, max_requests=8, seed=3),
+            sweep=SweepSpec(axis="concurrency", values=(1, 2, 4)),
+        )
+        plans = plan_sweep(spec, QUERIES, ["m"])
+        assert [plan.concurrency for plan in plans] == [1, 2, 4]
+        assert all(plan.mode == "closed" for plan in plans)
+
+    def test_no_sweep_yields_single_base_point(self):
+        spec = LoadTestSpec(
+            deployment=DeploymentSpec(models=("m",)),
+            workload=WorkloadSpec(mode="open", qps=80.0, duration_s=0.25, seed=3),
+        )
+        plans = plan_sweep(spec, QUERIES, ["m"])
+        assert len(plans) == 1
+        assert plans[0].offered_qps == 80.0
+
+
+class TestQueryMix:
+    def test_uses_heldout_triples(self, tiny_dataset):
+        pool = query_mix(tiny_dataset)
+        assert len(pool) == len(tiny_dataset.splits.test) + len(tiny_dataset.splits.valid)
+        heads = {t.head for t in tiny_dataset.splits.test} | {
+            t.head for t in tiny_dataset.splits.valid
+        }
+        assert all(head in heads for head, _ in pool)

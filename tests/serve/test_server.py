@@ -278,12 +278,68 @@ class TestHTTPFrontEnd:
         assert stats["requests_total"] >= 1
         assert "latency_p99_ms" in stats and "batch_size_histogram" in stats
         with urllib.request.urlopen(f"{http_server}/healthz", timeout=30) as response:
-            assert json.loads(response.read()) == {"status": "ok"}
+            payload = json.loads(response.read())
+        assert payload["status"] == "ok"
+        assert all(model["ready"] for model in payload["models"].values())
 
     def test_unknown_path_is_a_404(self, http_server):
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(f"{http_server}/nope", timeout=30)
         assert excinfo.value.code == 404
+
+
+class TestHealthz:
+    """Regression: /healthz must flip to 503 the moment a drain starts.
+
+    The endpoint used to answer ``{"status": "ok"}`` unconditionally — load
+    balancers kept routing to daemons that were already shutting down.
+    """
+
+    def test_unstarted_server_is_unready(self, fitted_reasoner):
+        server = ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10)
+        healthy, payload = server.healthz_dict()
+        assert healthy is False and payload["status"] == "unready"
+        server.close()
+
+    def test_running_server_reports_per_model_readiness(self, fitted_reasoner):
+        with ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10) as server:
+            server.add_model(reasoner=fitted_reasoner.replicate(), name="replica")
+            healthy, payload = server.healthz_dict()
+            assert healthy is True and payload["status"] == "ok"
+            assert set(payload["models"]) == {fitted_reasoner.name, "replica"}
+            assert all(model["ready"] for model in payload["models"].values())
+
+    def test_drain_flips_healthz_before_workers_finish(self, fitted_reasoner):
+        server = ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10).start()
+        server.close()
+        healthy, payload = server.healthz_dict()
+        assert healthy is False
+        assert payload["status"] == "draining"
+        assert all(model["ready"] is False for model in payload["models"].values())
+
+    def test_http_healthz_returns_503_while_draining(self, fitted_reasoner):
+        server = ReasoningServer(fitted_reasoner, max_batch_size=4, max_wait_ms=10)
+        httpd = server.http_server("127.0.0.1", 0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=30) as response:
+                assert response.status == 200
+            server.close()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(f"{base}/healthz", timeout=30)
+            assert excinfo.value.code == 503
+            body = json.loads(excinfo.value.read())
+            assert body["status"] == "draining"
+            assert body["models"] and all(
+                model["ready"] is False for model in body["models"].values()
+            )
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            server.close()
+            thread.join(timeout=5)
 
 
 class TestStdioFrontEnd:

@@ -1,0 +1,64 @@
+"""The benchmark-regression guard's comparison logic, incl. lower-is-better metrics."""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+GUARD_PATH = Path(__file__).resolve().parents[2] / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", GUARD_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def baseline(**metrics) -> dict:
+    return {"tolerance_pct": 10, "metrics": metrics}
+
+
+class TestHigherIsBetter:
+    def test_within_tolerance_is_ok(self):
+        regressions, missing, ok = check_regression.check(
+            baseline(speedup={"value": 2.0}), {"speedup": 1.85}
+        )
+        assert not regressions and not missing and len(ok) == 1
+
+    def test_below_floor_regresses(self):
+        regressions, _, _ = check_regression.check(
+            baseline(speedup={"value": 2.0}), {"speedup": 1.7}
+        )
+        assert len(regressions) == 1 and "below" in regressions[0]
+
+    def test_missing_metric_reported(self):
+        _, missing, _ = check_regression.check(baseline(speedup={"value": 2.0}), {})
+        assert len(missing) == 1
+
+
+class TestLowerIsBetter:
+    def test_under_ceiling_is_ok(self):
+        regressions, _, ok = check_regression.check(
+            baseline(p99={"value": 100.0, "direction": "lower"}), {"p99": 105.0}
+        )
+        assert not regressions and len(ok) == 1 and "ceiling" in ok[0]
+
+    def test_above_ceiling_regresses(self):
+        regressions, _, _ = check_regression.check(
+            baseline(p99={"value": 100.0, "direction": "lower"}), {"p99": 111.0}
+        )
+        assert len(regressions) == 1 and "above" in regressions[0]
+
+    def test_improvement_never_regresses(self):
+        regressions, _, _ = check_regression.check(
+            baseline(p99={"value": 100.0, "direction": "lower"}), {"p99": 5.0}
+        )
+        assert not regressions
+
+    def test_mixed_directions_checked_independently(self):
+        regressions, _, ok = check_regression.check(
+            baseline(
+                speedup={"value": 2.0},
+                p99={"value": 100.0, "direction": "lower"},
+            ),
+            {"speedup": 2.5, "p99": 250.0},
+        )
+        assert len(ok) == 1 and len(regressions) == 1
+        assert "p99" in regressions[0]
