@@ -25,6 +25,7 @@ from repro import (
     ModelRegistry,
     Reasoner,
     ReasoningServer,
+    ServeConfig,
     build_named_dataset,
 )
 from repro.embeddings.trainer import EmbeddingTrainingConfig
@@ -85,9 +86,7 @@ def main() -> None:
         server = ReasoningServer(
             registry=registry,
             default_model="mmkgr@prod",
-            max_batch_size=8,
-            max_wait_ms=5,
-            seed=7,
+            config=ServeConfig(max_batch_size=8, max_wait_ms=5, seed=7),
         )
         with server:
             futures = [server.submit(h, r, k=3) for h, r in queries]

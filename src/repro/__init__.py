@@ -79,11 +79,12 @@ from repro.serve import (
     Reasoner,
     ReasonerProtocol,
     ReasoningServer,
+    ServeConfig,
     ServerStats,
     load_reasoner,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Reasoner",
@@ -94,6 +95,7 @@ __all__ = [
     "ModelRegistry",
     "ModelVersion",
     "ReasoningServer",
+    "ServeConfig",
     "ServerStats",
     "load_reasoner",
     "save_checkpoint",

@@ -24,7 +24,7 @@ from repro.fewshot.evaluation import evaluate_fewshot
 from repro.kg.datasets import DATASET_REGISTRY, build_named_dataset
 from repro.kg.io import write_triples_tsv
 from repro.kg.statistics import describe_dataset, relation_cardinality
-from repro.serve import ModelRegistry, ReasoningServer
+from repro.serve import BACKENDS, ModelRegistry, ReasoningServer, ServeConfig
 from repro.utils.tables import format_table
 
 PRESETS = {"fast": fast_preset, "paper": paper_preset}
@@ -194,6 +194,10 @@ def _id_or_name(value) -> object:
 # an unhandled traceback.
 EXIT_BAD_INPUT = 2
 
+# SIGINT shutdown: the conventional 128 + SIGINT code, returned after the
+# server has fully drained and stopped its workers (threads or processes).
+EXIT_INTERRUPTED = 130
+
 # What query resolution and query-file parsing legitimately raise on bad
 # user input; anything else is a real bug and should keep its traceback.
 _INPUT_ERRORS = (OSError, ValueError, KeyError, IndexError, TypeError)
@@ -294,6 +298,18 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_config(args: argparse.Namespace) -> ServeConfig:
+    """The ``mmkgr serve`` flags as one :class:`ServeConfig`."""
+    return ServeConfig(
+        backend=args.backend,
+        workers=args.workers,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        default_k=args.k,
+        stats_interval_s=args.stats_interval,
+    )
+
+
 def _registry_server(args: argparse.Namespace) -> ReasoningServer:
     """A multi-tenant server hosting every model of ``--registry``.
 
@@ -312,13 +328,7 @@ def _registry_server(args: argparse.Namespace) -> ReasoningServer:
         overrides[default_name] = args.model
         if default_name not in {m["name"] for m in models}:
             raise KeyError(f"no model named {default_name!r} in {args.registry}")
-    server = ReasoningServer(
-        registry=registry,
-        max_batch_size=args.max_batch_size,
-        max_wait_ms=args.max_wait_ms,
-        num_workers=args.workers,
-        default_k=args.k,
-    )
+    server = ReasoningServer(registry=registry, config=_serve_config(args))
     for model in models:
         name = model["name"]
         ref = overrides.get(name) or (
@@ -373,40 +383,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if not args.checkpoint:
                 raise ValueError("pass --checkpoint or --registry")
             reasoner = _load_serving_reasoner(args.checkpoint)
-            server = ReasoningServer(
-                reasoner,
-                max_batch_size=args.max_batch_size,
-                max_wait_ms=args.max_wait_ms,
-                num_workers=args.workers,
-                default_k=args.k,
-            )
+            server = ReasoningServer(reasoner, config=_serve_config(args))
             serving = getattr(reasoner, "name", "reasoner")
     except _INPUT_ERRORS as error:
         return _input_error(error)
+    # The `with server:` guarantees the full close() drain on every exit path
+    # — including SIGINT, which must also stop process-backend workers, so
+    # KeyboardInterrupt is caught around *both* front ends (not just HTTP)
+    # and converted to the conventional 130 after the drain completes.
+    interrupted = False
     with server:
         stats_stop = None
         if args.stats_interval:
             stats_stop = _start_stats_logger(server, args.stats_interval, sys.stderr)
         try:
             if args.stdio:
-                failures = server.serve_stdio(sys.stdin, sys.stdout)
-                return 1 if failures else 0
-            print(
-                f"serving {serving} (default {server.default_model}) on "
-                f"http://{args.host}:{args.port} "
-                f"(max_batch_size={args.max_batch_size}, max_wait_ms={args.max_wait_ms}, "
-                f"workers={args.workers}); POST /v1/models/<name>/query, GET /v1/models"
-            )
-            try:
-                server.serve_http(args.host, args.port)
-            except KeyboardInterrupt:
-                print("shutting down")
-            except OSError as error:  # bind failures: port busy, privileged, bad host
-                return _input_error(error)
+                try:
+                    failures = server.serve_stdio(sys.stdin, sys.stdout)
+                except KeyboardInterrupt:
+                    print("shutting down", file=sys.stderr, flush=True)
+                    interrupted = True
+                else:
+                    return 1 if failures else 0
+            else:
+                print(
+                    f"serving {serving} (default {server.default_model}) on "
+                    f"http://{args.host}:{args.port} "
+                    f"(backend={args.backend}, max_batch_size={args.max_batch_size}, "
+                    f"max_wait_ms={args.max_wait_ms}, workers={args.workers}); "
+                    "POST /v1/models/<name>/query, GET /v1/models"
+                )
+                try:
+                    server.serve_http(args.host, args.port)
+                except KeyboardInterrupt:
+                    print("shutting down", file=sys.stderr, flush=True)
+                    interrupted = True
+                except OSError as error:  # bind failures: port busy, privileged, bad host
+                    return _input_error(error)
         finally:
             if stats_stop is not None:
                 stats_stop.set()
-    return 0
+    return EXIT_INTERRUPTED if interrupted else 0
 
 
 # --------------------------------------------------------------- load testing
@@ -671,8 +688,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush a partial batch once its oldest request is this old (default 5)",
     )
     serve.add_argument(
+        "--backend", choices=BACKENDS, default="threads",
+        help="execution backend: 'threads' (replicas in-process, GIL-bound) "
+        "or 'processes' (OS workers memory-mapping the model arena; "
+        "QPS scales with cores)",
+    )
+    serve.add_argument(
         "--workers", type=int, default=1,
-        help="worker threads, one reasoner replica each (default 1)",
+        help="workers, one reasoner replica each: threads or OS processes "
+        "per --backend (default 1)",
     )
     serve.add_argument("-k", type=int, default=10, help="default answers per query (default 10)")
     serve.add_argument(

@@ -77,17 +77,49 @@ def save_checkpoint(pipeline: MMKGRPipeline, directory: PathLike) -> Path:
     return directory
 
 
-def load_checkpoint(directory: PathLike, rng: SeedLike = None) -> MMKGRPipeline:
-    """Restore an evaluable pipeline from a checkpoint directory."""
-    directory = Path(directory)
-    manifest_path = directory / CHECKPOINT_FILE
+def read_checkpoint_manifest(directory: PathLike) -> dict:
+    """Read (and version-check) a checkpoint directory's manifest."""
+    manifest_path = Path(directory) / CHECKPOINT_FILE
     if not manifest_path.exists():
         raise FileNotFoundError(f"{manifest_path} does not exist; not a checkpoint directory")
     manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
     version = manifest.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported checkpoint format version {version!r}")
+    return manifest
 
+
+def load_checkpoint(directory: PathLike, rng: SeedLike = None) -> MMKGRPipeline:
+    """Restore an evaluable pipeline from a checkpoint directory."""
+    directory = Path(directory)
+    manifest = read_checkpoint_manifest(directory)
+
+    with np.load(directory / STRUCTURAL_FILE) as archive:
+        entity_embeddings = archive["entity_embeddings"]
+        relation_embeddings = archive["relation_embeddings"]
+    with np.load(directory / AGENT_FILE) as archive:
+        state = {key: archive[key] for key in archive.files}
+    return restore_pipeline(
+        manifest, entity_embeddings, relation_embeddings, state, rng=rng
+    )
+
+
+def restore_pipeline(
+    manifest: dict,
+    entity_embeddings: np.ndarray,
+    relation_embeddings: np.ndarray,
+    agent_state: dict,
+    rng: SeedLike = None,
+    copy: bool = True,
+) -> MMKGRPipeline:
+    """Rebuild a pipeline from a checkpoint manifest plus weight arrays.
+
+    The arrays usually come straight out of the checkpoint's ``.npz``
+    archives (:func:`load_checkpoint`), but the serving arena path hands in
+    read-only memory-mapped views instead and sets ``copy=False`` so the
+    restored agent's parameters stay views into the mmap — zero weight
+    copies per worker process.
+    """
     dataset = build_dataset(dataset_config_from_dict(manifest["dataset_config"]))
     preset = preset_from_dict(manifest["preset"])
     modalities = ModalityConfig(**manifest["modalities"])
@@ -99,10 +131,6 @@ def load_checkpoint(directory: PathLike, rng: SeedLike = None) -> MMKGRPipeline:
         shaping_scorer=manifest["shaping_scorer"],
         rng=rng,
     )
-
-    with np.load(directory / STRUCTURAL_FILE) as archive:
-        entity_embeddings = archive["entity_embeddings"]
-        relation_embeddings = archive["relation_embeddings"]
 
     features = FeatureStore(
         dataset.mkg,
@@ -130,9 +158,7 @@ def load_checkpoint(directory: PathLike, rng: SeedLike = None) -> MMKGRPipeline:
         )
 
     agent = MMKGRAgent(features, config=preset.model, rng=pipeline.rng)
-    with np.load(directory / AGENT_FILE) as archive:
-        state = {key: archive[key] for key in archive.files}
-    agent.load_state_dict(state)
+    agent.load_state_dict(agent_state, copy=copy)
     pipeline.agent = agent
     return pipeline
 

@@ -39,7 +39,7 @@ from repro.loadgen.workload import WorkloadPlan, plan_slo_point, plan_sweep, que
 from repro.rl.imitation import ImitationConfig
 from repro.rl.reinforce import ReinforceConfig
 from repro.rl.rewards import RewardConfig
-from repro.serve import ModelRegistry, Reasoner, ReasoningServer
+from repro.serve import ModelRegistry, Reasoner, ReasoningServer, ServeConfig
 
 __all__ = ["build_reasoners", "deployment_preset", "run_loadtest"]
 
@@ -136,17 +136,17 @@ def build_reasoners(deployment: DeploymentSpec, dataset) -> Dict[str, object]:
 
 
 def _boot_server(deployment: DeploymentSpec, reasoners: Dict[str, object]) -> ReasoningServer:
+    config = ServeConfig(
+        backend=deployment.backend,
+        workers=deployment.workers,
+        max_batch_size=deployment.max_batch_size,
+        max_wait_ms=deployment.max_wait_ms,
+        default_k=deployment.k,
+    )
     server: Optional[ReasoningServer] = None
     for name, reasoner in reasoners.items():
         if server is None:
-            server = ReasoningServer(
-                reasoner,
-                max_batch_size=deployment.max_batch_size,
-                max_wait_ms=deployment.max_wait_ms,
-                num_workers=deployment.workers,
-                default_k=deployment.k,
-                default_model=name,
-            )
+            server = ReasoningServer(reasoner, config=config, default_model=name)
         else:
             server.add_model(reasoner=reasoner, name=name)
     return server.start()

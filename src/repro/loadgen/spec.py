@@ -44,6 +44,10 @@ SWEEP_AXES = ("qps", "concurrency")
 # validation can reject unknown names at parse time).
 DEPLOYMENT_PRESETS = ("tiny", "bench")
 
+# Execution backends a deployment can ask the server for (mirrors
+# repro.serve.config.BACKENDS; duplicated so spec parsing stays stdlib-light).
+DEPLOYMENT_BACKENDS = ("threads", "processes")
+
 
 @dataclass(frozen=True)
 class DeploymentSpec:
@@ -64,6 +68,7 @@ class DeploymentSpec:
     dataset: str = "wn9-img-txt"
     scale: float = 0.2
     seed: int = 7
+    backend: str = "threads"
     workers: int = 1
     max_batch_size: int = 16
     max_wait_ms: float = 5.0
@@ -72,6 +77,11 @@ class DeploymentSpec:
     def validate(self) -> None:
         if not self.models:
             raise ValueError("deployment.models must name at least one model")
+        if self.backend not in DEPLOYMENT_BACKENDS:
+            raise ValueError(
+                f"deployment.backend must be one of {DEPLOYMENT_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
         if self.registry is None and self.preset_config is None:
             if self.preset not in DEPLOYMENT_PRESETS:
                 raise ValueError(

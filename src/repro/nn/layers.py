@@ -75,7 +75,18 @@ class Module:
     def state_dict(self) -> Dict[str, np.ndarray]:
         return {name: param.data.copy() for name, param in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+    def load_state_dict(self, state: Dict[str, np.ndarray], copy: bool = True) -> None:
+        """Install ``state`` into this module's parameters.
+
+        With ``copy=True`` (default) values are written into the existing
+        parameter arrays.  ``copy=False`` *rebinds* each parameter's ``data``
+        to the given array without copying — this is how serving worker
+        processes attach to a memory-mapped, read-only model arena: the
+        parameter arrays stay views into the mmap, so N workers share one
+        physical copy of the weights.  A module attached this way must never
+        be trained in place (optimizer steps would fault on the read-only
+        pages), which is exactly the contract serving wants.
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -89,7 +100,10 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
                 )
-            param.data[...] = value
+            if copy:
+                param.data[...] = value
+            else:
+                param.data = value
 
     def num_parameters(self) -> int:
         return int(sum(p.data.size for p in self.parameters()))

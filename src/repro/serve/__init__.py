@@ -38,11 +38,27 @@ On top of the reasoners sits the model registry and the serving daemon:
 material of the load-test harness's capacity reports (:mod:`repro.loadgen`),
 and ``healthz_dict()`` turns ``GET /healthz`` into a real readiness probe:
 per-model readiness, 503 the moment a drain starts.
+
+The whole deployment shape — including the **execution backend** — lives in
+one frozen :class:`ServeConfig`.  ``backend="threads"`` (default) runs
+reasoner replicas on worker threads; ``backend="processes"`` spawns OS worker
+processes that attach to the published model **arena** (a flattened,
+memory-mappable ``arena.npy`` written by ``ModelRegistry.publish``) zero-copy
+via :func:`open_arena`, escaping the GIL so aggregate QPS scales with cores
+(:class:`ProcessWorkerGroup`, with heartbeats, crash detection and respawn).
 """
 
+from repro.serve.arena import (
+    arena_manifest,
+    load_arena_reasoner,
+    open_arena,
+    write_arena,
+)
 from repro.serve.batcher import BatcherClosed, BatchRequest, DynamicBatcher, execute_batch
 from repro.serve.cache import ActionSpaceCache, LRUCache
+from repro.serve.config import BACKENDS, ServeConfig
 from repro.serve.engine import BatchBeamSearch
+from repro.serve.procpool import ProcessWorkerGroup, WorkerCrashError
 from repro.serve.protocol import Prediction, QuerySpec, ReasonerProtocol
 from repro.serve.reasoner import (
     EmbeddingReasoner,
@@ -59,10 +75,12 @@ from repro.serve.server import (
     QueryRequest,
     ReasoningServer,
     ServerStats,
+    WorkerGroup,
 )
 
 __all__ = [
     "ActionSpaceCache",
+    "BACKENDS",
     "BatchBeamSearch",
     "BatcherClosed",
     "BatchRequest",
@@ -74,6 +92,7 @@ __all__ = [
     "ModelRegistry",
     "ModelVersion",
     "Prediction",
+    "ProcessWorkerGroup",
     "QueryRequest",
     "QuerySpec",
     "Reasoner",
@@ -81,8 +100,15 @@ __all__ = [
     "ReasoningServer",
     "RuleReasonerAdapter",
     "STAGES",
+    "ServeConfig",
     "ServerStats",
+    "WorkerCrashError",
+    "WorkerGroup",
+    "arena_manifest",
     "dataset_fingerprint",
     "execute_batch",
+    "load_arena_reasoner",
     "load_reasoner",
+    "open_arena",
+    "write_arena",
 ]

@@ -91,6 +91,32 @@ class Prediction:
             "path_rendered": self.render_path(),
         }
 
+    def to_wire(self) -> tuple:
+        """A picklable round-trippable tuple for cross-process transport.
+
+        Unlike :meth:`to_dict` (a lossy client-facing rendering), the wire
+        tuple preserves ``path_names``, so a prediction computed in a worker
+        process reconstructs exactly in the parent.
+        """
+        return (
+            self.entity,
+            self.entity_name,
+            self.score,
+            tuple(self.path),
+            tuple(self.path_names),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: Sequence) -> "Prediction":
+        entity, entity_name, score, path, path_names = wire
+        return cls(
+            entity=int(entity),
+            entity_name=str(entity_name),
+            score=float(score),
+            path=tuple(tuple(step) for step in path),
+            path_names=tuple(path_names),
+        )
+
 
 @runtime_checkable
 class ReasonerProtocol(Protocol):

@@ -44,6 +44,7 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.serve.arena import write_arena
 from repro.serve.reasoner import REASONER_FILE, load_reasoner
 from repro.utils.rng import SeedLike
 
@@ -148,6 +149,10 @@ class ModelRegistry:
         try:
             reasoner.save(staging, metrics=metrics)
             saved = json.loads((staging / REASONER_FILE).read_text(encoding="utf-8"))
+            # Flatten the weight archives into a memory-mappable arena so the
+            # process execution backend can attach workers zero-copy; pickle
+            # families have no archives and simply skip this (arena=None).
+            arena = write_arena(staging)
             manifest = {
                 "name": name,
                 "version": version,
@@ -157,6 +162,8 @@ class ModelRegistry:
                 "dataset": saved.get("dataset"),
                 "metrics": saved.get("metrics"),
             }
+            if arena is not None:
+                manifest["arena"] = arena
             # Claim a version number by renaming the staging directory into
             # place; os.rename refuses to overwrite a non-empty directory, so
             # losing the race to a concurrent publisher surfaces as an OSError

@@ -31,16 +31,23 @@ together per model.
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import tempfile
 import threading
 import time
+import warnings
 from collections import defaultdict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any, Deque, Dict, IO, List, Optional, Sequence, Union
 from urllib.parse import unquote
 
+from repro.serve.arena import write_arena
 from repro.serve.batcher import BatcherClosed, BatchRequest, DynamicBatcher, execute_batch
+from repro.serve.config import ServeConfig
 from repro.serve.protocol import EntityLike, Prediction, RelationLike
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.utils.rng import new_rng
@@ -51,7 +58,9 @@ __all__ = [
     "ModelPool",
     "QueryRequest",
     "ReasoningServer",
+    "ServeConfig",
     "ServerStats",
+    "WorkerGroup",
 ]
 
 # Errors a malformed query raises at resolve time; reported to the client as
@@ -207,12 +216,90 @@ class CanaryRoute:
     fraction: float
 
 
-class _ModelEntry:
-    """One hosted model: its reasoner replicas, batcher, and worker threads.
+class WorkerGroup:
+    """Common machinery of one hosted model's worker group, on any backend.
 
-    Entries are immutable once started; a hot swap builds a fresh entry and
-    retires the old one.  ``stats`` is the pool's shared per-name counter
-    block, so a swapped-in entry keeps accumulating into the same history.
+    A group owns the model's :class:`~repro.serve.batcher.DynamicBatcher` and
+    records into the pool's shared per-name :class:`ServerStats` block; a
+    concrete backend supplies the workers that drain the batcher — reasoner
+    replicas on threads here (:class:`_ModelEntry`), OS processes attached to
+    the memory-mapped model arena in
+    :class:`repro.serve.procpool.ProcessWorkerGroup`.  Groups are immutable
+    once started; a hot swap builds a fresh group and retires the old one.
+    """
+
+    backend = "threads"
+
+    def __init__(
+        self,
+        name: str,
+        stats: ServerStats,
+        config: ServeConfig,
+        version: Optional[int] = None,
+        source: Optional[str] = None,
+    ):
+        self.name = name
+        self.stats = stats
+        self.config = config
+        self.version = version
+        self.source = source
+        self.reasoner = None
+        self.batcher = DynamicBatcher(
+            max_batch_size=config.max_batch_size, max_wait_ms=config.max_wait_ms
+        )
+
+    # ------------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Stop accepting work and drain: queued requests still get answers."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------- serving
+    def submit(self, payload: QueryRequest) -> "Future[List[Prediction]]":
+        submitted = time.monotonic()
+        future = self.batcher.submit(payload)
+
+        def _record(done: Future) -> None:
+            failed = (not done.cancelled()) and done.exception() is not None
+            self.stats.record_request(time.monotonic() - submitted, error=failed)
+
+        future.add_done_callback(_record)
+        return future
+
+    def stats_dict(self) -> dict:
+        payload = self.stats.to_dict(queue_depth=self.batcher.depth)
+        payload["model"] = self.name
+        payload["backend"] = self.backend
+        if self.version is not None:
+            payload["version"] = self.version
+        return payload
+
+    def _record_batch_stages(self, batch: List[BatchRequest], completed: float) -> None:
+        """Attribute each answered request's latency to the serving stages."""
+        for request in batch:
+            # A request that arrived while the batch was already coalescing
+            # never waited in the queue; its wait is all batch-assembly time.
+            dequeued = request.dequeued_at if request.dequeued_at is not None else completed
+            assembly = (
+                request.assembly_started_at
+                if request.assembly_started_at is not None
+                else dequeued
+            )
+            self.stats.record_stage_times(
+                max(0.0, assembly - request.enqueued_at),
+                max(0.0, dequeued - max(assembly, request.enqueued_at)),
+                max(0.0, completed - dequeued),
+            )
+
+
+class _ModelEntry(WorkerGroup):
+    """The thread execution backend: reasoner replicas on worker threads.
+
+    Replicas share the trained pipeline and its LRU action-space caches;
+    cheap to boot, but the GIL serialises their numpy compute, so aggregate
+    throughput stays roughly one core's worth regardless of ``workers``.
     """
 
     def __init__(
@@ -220,20 +307,14 @@ class _ModelEntry:
         name: str,
         reasoner,
         stats: ServerStats,
-        max_batch_size: int,
-        max_wait_ms: float,
-        num_workers: int,
+        config: ServeConfig,
         version: Optional[int] = None,
         source: Optional[str] = None,
     ):
-        self.name = name
+        super().__init__(name, stats=stats, config=config, version=version, source=source)
         self.reasoner = reasoner
-        self.stats = stats
-        self.version = version
-        self.source = source
-        self.batcher = DynamicBatcher(max_batch_size=max_batch_size, max_wait_ms=max_wait_ms)
         self._replicas = [reasoner]
-        for _ in range(num_workers - 1):
+        for _ in range(config.workers - 1):
             replicate = getattr(reasoner, "replicate", None)
             self._replicas.append(replicate() if callable(replicate) else reasoner)
         self._threads: List[threading.Thread] = []
@@ -253,29 +334,14 @@ class _ModelEntry:
             self._threads.append(thread)
 
     def close(self) -> None:
-        """Stop accepting work and drain: queued requests still get answers."""
         self.batcher.close()
         for thread in self._threads:
             thread.join()
         self._threads = []
 
-    # ------------------------------------------------------------------- serving
-    def submit(self, payload: QueryRequest) -> "Future[List[Prediction]]":
-        submitted = time.monotonic()
-        future = self.batcher.submit(payload)
-
-        def _record(done: Future) -> None:
-            failed = (not done.cancelled()) and done.exception() is not None
-            self.stats.record_request(time.monotonic() - submitted, error=failed)
-
-        future.add_done_callback(_record)
-        return future
-
+    # ----------------------------------------------------------------- reporting
     def stats_dict(self) -> dict:
-        payload = self.stats.to_dict(queue_depth=self.batcher.depth)
-        payload["model"] = self.name
-        if self.version is not None:
-            payload["version"] = self.version
+        payload = super().stats_dict()
         cache_stats = getattr(self.reasoner, "cache_stats", None)
         if callable(cache_stats):
             payload["cache"] = cache_stats()
@@ -289,22 +355,7 @@ class _ModelEntry:
                 return
             self.stats.record_batch(len(batch))
             self._process(replica, batch)
-            completed = time.monotonic()
-            for request in batch:
-                # A request that arrived while the batch was already
-                # coalescing never waited in the queue; its wait is all
-                # batch-assembly time.
-                dequeued = request.dequeued_at if request.dequeued_at is not None else completed
-                assembly = (
-                    request.assembly_started_at
-                    if request.assembly_started_at is not None
-                    else dequeued
-                )
-                self.stats.record_stage_times(
-                    max(0.0, assembly - request.enqueued_at),
-                    max(0.0, dequeued - max(assembly, request.enqueued_at)),
-                    max(0.0, completed - dequeued),
-                )
+            self._record_batch_stages(batch, time.monotonic())
 
     def _process(self, replica, batch: List[BatchRequest]) -> None:
         # query_batch answers one k for the whole batch; group mixed-k
@@ -325,17 +376,19 @@ class _ModelEntry:
 class ModelPool:
     """Named per-model worker groups behind one shared stats registry.
 
-    Routing reads and entry swaps synchronise on one lock; the swap replaces
-    the routing entry first and drains the retired worker group *outside*
-    the lock, so new traffic flows to the new replicas while old batches
-    finish on the old ones.
+    The pool's :class:`ServeConfig` decides the execution backend of every
+    group it builds: thread-backed :class:`_ModelEntry` replicas (default),
+    or process-backed groups attached to the on-disk model arena
+    (``backend="processes"``, which therefore needs each model's
+    ``model_path``).  Routing reads and entry swaps synchronise on one lock;
+    the swap replaces the routing entry first and drains the retired worker
+    group *outside* the lock, so new traffic flows to the new workers while
+    old batches finish on the old ones.
     """
 
-    def __init__(self, max_batch_size: int = 16, max_wait_ms: float = 5.0, num_workers: int = 1):
-        self.max_batch_size = max_batch_size
-        self.max_wait_ms = max_wait_ms
-        self.num_workers = num_workers
-        self._entries: Dict[str, _ModelEntry] = {}
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config if config is not None else ServeConfig()
+        self._entries: Dict[str, WorkerGroup] = {}
         self._stats: Dict[str, ServerStats] = {}
         self._lock = threading.RLock()
         self._started = False
@@ -349,7 +402,7 @@ class ModelPool:
         with self._lock:
             return sorted(self._entries)
 
-    def entry(self, name: str) -> _ModelEntry:
+    def entry(self, name: str) -> WorkerGroup:
         with self._lock:
             try:
                 return self._entries[name]
@@ -361,6 +414,42 @@ class ModelPool:
         """The shared (swap-surviving) counter block of ``name``."""
         return self.entry(name).stats
 
+    # ---------------------------------------------------------------- building
+    def _build_group(
+        self,
+        name: str,
+        reasoner,
+        stats: ServerStats,
+        version: Optional[int],
+        source: Optional[str],
+        model_path: Optional[Path],
+    ) -> WorkerGroup:
+        if self.config.backend == "processes":
+            from repro.serve.procpool import ProcessWorkerGroup
+
+            if model_path is None:
+                raise ValueError(
+                    f"model {name!r} has no on-disk save for process workers to "
+                    "attach to; publish it to a registry or let the server "
+                    "spill it (ReasoningServer.add_model does this)"
+                )
+            return ProcessWorkerGroup(
+                name,
+                model_path,
+                stats=stats,
+                config=self.config,
+                version=version,
+                source=source,
+            )
+        return _ModelEntry(
+            name,
+            reasoner,
+            stats=stats,
+            config=self.config,
+            version=version,
+            source=source,
+        )
+
     # ---------------------------------------------------------------- mutation
     def add(
         self,
@@ -368,21 +457,13 @@ class ModelPool:
         reasoner,
         version: Optional[int] = None,
         source: Optional[str] = None,
-    ) -> _ModelEntry:
+        model_path: Optional[Path] = None,
+    ) -> WorkerGroup:
         with self._lock:
             if name in self._entries:
                 raise ValueError(f"model {name!r} is already hosted; use swap() to replace it")
             stats = self._stats.setdefault(name, ServerStats())
-            entry = _ModelEntry(
-                name,
-                reasoner,
-                stats=stats,
-                max_batch_size=self.max_batch_size,
-                max_wait_ms=self.max_wait_ms,
-                num_workers=self.num_workers,
-                version=version,
-                source=source,
-            )
+            entry = self._build_group(name, reasoner, stats, version, source, model_path)
             self._entries[name] = entry
             if self._started:
                 entry.start()
@@ -394,25 +475,24 @@ class ModelPool:
         reasoner,
         version: Optional[int] = None,
         source: Optional[str] = None,
-    ) -> _ModelEntry:
+        model_path: Optional[Path] = None,
+    ) -> WorkerGroup:
         """Replace ``name``'s worker group, then drain the retired group."""
         with self._lock:
             retired = self.entry(name)
-            entry = _ModelEntry(
+            entry = self._build_group(
                 name,
                 reasoner,
-                stats=self._stats[name],
-                max_batch_size=self.max_batch_size,
-                max_wait_ms=self.max_wait_ms,
-                num_workers=self.num_workers,
-                version=version,
-                source=source if source is not None else retired.source,
+                self._stats[name],
+                version,
+                source if source is not None else retired.source,
+                model_path,
             )
             if self._started:
                 entry.start()
             self._entries[name] = entry
         # Outside the lock: in-flight and queued requests finish on the old
-        # replicas while new submissions already hit the new ones.
+        # workers while new submissions already hit the new ones.
         retired.close()
         return entry
 
@@ -444,40 +524,78 @@ class ReasoningServer:
     traffic between them (:meth:`route`).
     """
 
+    _UNSET = object()
+
     def __init__(
         self,
         reasoner=None,
-        max_batch_size: int = 16,
-        max_wait_ms: float = 5.0,
-        num_workers: int = 1,
-        default_k: int = 10,
+        config: Optional[ServeConfig] = None,
         registry: Optional[Union[ModelRegistry, str]] = None,
         default_model: Optional[str] = None,
-        seed: int = 0,
+        max_batch_size=_UNSET,
+        max_wait_ms=_UNSET,
+        num_workers=_UNSET,
+        default_k=_UNSET,
+        seed=_UNSET,
     ):
-        if num_workers < 1:
-            raise ValueError("num_workers must be >= 1")
-        if default_k < 1:
-            raise ValueError("default_k must be >= 1")
+        config = self._resolve_config(
+            config,
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            num_workers=num_workers,
+            default_k=default_k,
+            seed=seed,
+        )
+        if registry is None and config.registry is not None:
+            registry = config.registry
+        if default_model is None:
+            default_model = config.default_model
         if reasoner is None and registry is None:
             raise ValueError("pass a reasoner, a registry=, or both")
         if registry is not None and not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
+        self.config = config
         self.registry = registry
-        self.default_k = default_k
-        self.pool = ModelPool(
-            max_batch_size=max_batch_size, max_wait_ms=max_wait_ms, num_workers=num_workers
-        )
+        self.default_k = config.default_k
+        self.pool = ModelPool(config)
         self.default_model: Optional[str] = None
         self._routes: Dict[str, CanaryRoute] = {}
         self._route_lock = threading.Lock()
-        self._route_rng = new_rng(seed)
+        self._route_rng = new_rng(config.seed)
+        self._spill_dirs: List[Path] = []
         self._started = False
         self._shutting_down = False
         if reasoner is not None:
             self.add_model(reasoner=reasoner, name=default_model)
         elif default_model is not None:
             self.add_model(default_model)
+
+    @classmethod
+    def _resolve_config(cls, config: Optional[ServeConfig], **legacy) -> ServeConfig:
+        """Merge the pre-:class:`ServeConfig` kwarg sprawl into one config.
+
+        The old constructor kwargs still work (shimmed, with a
+        :class:`DeprecationWarning`); mixing them with an explicit
+        ``config=`` is ambiguous and rejected.
+        """
+        supplied = {key: value for key, value in legacy.items() if value is not cls._UNSET}
+        if not supplied:
+            return config if config is not None else ServeConfig()
+        if config is not None:
+            raise ValueError(
+                f"pass either config= or the legacy kwargs {sorted(supplied)}, not both"
+            )
+        warnings.warn(
+            "ReasoningServer(max_batch_size=..., max_wait_ms=..., num_workers=..., "
+            "default_k=..., seed=...) is deprecated; pass config=ServeConfig(...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        supplied = {
+            ("workers" if key == "num_workers" else key): value
+            for key, value in supplied.items()
+        }
+        return ServeConfig(**supplied)
 
     # --------------------------------------------------------------- tenancy
     def add_model(
@@ -494,10 +612,13 @@ class ReasoningServer:
         remembered verbatim so :meth:`reload` re-resolves aliases.  The
         first hosted model becomes the default.
         """
+        model_path: Optional[Path] = None
         if reasoner is not None:
             key = name or getattr(reasoner, "name", None) or "default"
             entry_version: Optional[int] = None
             source: Optional[str] = None
+            if self.config.backend == "processes":
+                reasoner, model_path = None, self._spill(reasoner)
         else:
             if ref is None:
                 raise ValueError("pass a registry reference or reasoner=")
@@ -507,14 +628,34 @@ class ReasoningServer:
                     "to host models by reference"
                 )
             resolved = self.registry.resolve(ref)
-            reasoner = resolved.load()
             key = name or resolved.name
             entry_version = resolved.version
             source = str(ref)
-        self.pool.add(key, reasoner, version=entry_version, source=source)
+            if self.config.backend == "processes":
+                # The parent never loads the weights: workers map the
+                # published version's arena straight off disk.
+                model_path = resolved.path
+            else:
+                reasoner = resolved.load()
+        self.pool.add(
+            key, reasoner, version=entry_version, source=source, model_path=model_path
+        )
         if self.default_model is None:
             self.default_model = key
         return key
+
+    def _spill(self, reasoner) -> Path:
+        """Persist an in-memory reasoner so worker processes can load it.
+
+        Agent reasoners additionally get an arena, so the spilled copy still
+        attaches zero-copy; pickle families (no weight archives) load per
+        worker.  Spill directories are removed on :meth:`close`.
+        """
+        spill = Path(tempfile.mkdtemp(prefix=f"mmkgr-spill-{os.getpid()}-"))
+        reasoner.save(spill)
+        write_arena(spill)
+        self._spill_dirs.append(spill)
+        return spill
 
     def reload(self, name: Optional[str] = None, reasoner=None) -> Optional[ModelVersion]:
         """Hot-swap a hosted model without dropping in-flight requests.
@@ -531,14 +672,30 @@ class ReasoningServer:
         key = name or self._require_default()
         entry = self.pool.entry(key)
         if reasoner is not None:
-            self.pool.swap(key, reasoner)
+            if self.config.backend == "processes":
+                self.pool.swap(key, None, model_path=self._spill(reasoner))
+            else:
+                self.pool.swap(key, reasoner)
             return None
         if self.registry is None or entry.source is None:
             raise RuntimeError(
                 f"model {key!r} is not registry-backed; pass reasoner= to swap it"
             )
         resolved = self.registry.resolve(entry.source)
-        self.pool.swap(key, resolved.load(), version=resolved.version, source=entry.source)
+        if self.config.backend == "processes":
+            # Map the new version's arena; the retired group drains, then its
+            # workers exit and the old mapping disappears with them.
+            self.pool.swap(
+                key,
+                None,
+                version=resolved.version,
+                source=entry.source,
+                model_path=resolved.path,
+            )
+        else:
+            self.pool.swap(
+                key, resolved.load(), version=resolved.version, source=entry.source
+            )
         return resolved
 
     def route(
@@ -602,6 +759,9 @@ class ReasoningServer:
         self._shutting_down = True
         self.pool.close()
         self._started = False
+        spills, self._spill_dirs = self._spill_dirs, []
+        for spill in spills:
+            shutil.rmtree(spill, ignore_errors=True)
 
     def __enter__(self) -> "ReasoningServer":
         return self.start()

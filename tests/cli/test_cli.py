@@ -17,6 +17,26 @@ from repro.core.checkpoint import checkpoint_exists
 from repro.core.config_io import save_preset
 
 
+class _InterruptingStdin:
+    """A stdio stand-in that delivers SIGINT's KeyboardInterrupt mid-stream.
+
+    ``serve --stdio`` iterates its input; yielding the given lines first
+    means the interrupt arrives with work already in flight, so the test
+    exercises the full drain-then-exit-130 path rather than an idle exit.
+    """
+
+    def __init__(self, lines):
+        self._lines = iter(lines)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        for line in self._lines:
+            return line + "\n"
+        raise KeyboardInterrupt
+
+
 @pytest.fixture(scope="module")
 def tiny_preset_file(request, tmp_path_factory):
     preset = request.getfixturevalue("tiny_preset")
@@ -82,6 +102,20 @@ class TestParser:
             ["serve", "--checkpoint", "ckpt", "--stats-interval", "2"]
         )
         assert args.stats_interval == 2.0
+
+    def test_serve_backend_parses_and_defaults_to_threads(self):
+        args = build_parser().parse_args(["serve", "--checkpoint", "ckpt"])
+        assert args.backend == "threads"
+        args = build_parser().parse_args(
+            ["serve", "--checkpoint", "ckpt", "--backend", "processes"]
+        )
+        assert args.backend == "processes"
+
+    def test_serve_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--checkpoint", "ckpt", "--backend", "gevent"]
+            )
 
     def test_loadtest_defaults(self):
         args = build_parser().parse_args(["loadtest", "run", "spec.json"])
@@ -350,6 +384,40 @@ class TestQueryCommands:
         captured = capsys.readouterr()
         assert exit_code == 1
         assert "error" in captured.out
+
+    def test_serve_stdio_sigint_drains_and_exits_130(
+        self, trained_checkpoint, capsys, monkeypatch
+    ):
+        lines = [json.dumps({"head": 0, "relation": 1, "k": 3})]
+        monkeypatch.setattr("sys.stdin", _InterruptingStdin(lines))
+        exit_code = main(
+            ["serve", "--checkpoint", trained_checkpoint, "--stdio", "--max-wait-ms", "5"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 130
+        assert "shutting down" in captured.err
+
+    def test_serve_stdio_sigint_stops_process_backend_workers(
+        self, trained_checkpoint, capsys, monkeypatch
+    ):
+        import multiprocessing
+
+        lines = [json.dumps({"head": 0, "relation": 1, "k": 3})]
+        monkeypatch.setattr("sys.stdin", _InterruptingStdin(lines))
+        exit_code = main(
+            [
+                "serve",
+                "--checkpoint", trained_checkpoint,
+                "--stdio",
+                "--backend", "processes",
+                "--max-wait-ms", "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 130
+        assert "shutting down" in captured.err
+        # The close() drain must take the worker processes down with it.
+        assert multiprocessing.active_children() == []
 
     def test_query_from_saved_reasoner(self, trained_checkpoint, tmp_path, capsys):
         from repro.core.checkpoint import load_checkpoint

@@ -106,6 +106,23 @@ class TestValidation:
         payload["deployment"] = {"registry": "/tmp/reg", "models": ["mmkgr@prod"], "preset": None}
         assert spec_from_dict(payload).deployment.registry == "/tmp/reg"
 
+    def test_backend_defaults_to_threads_and_parses_processes(self):
+        assert spec_from_dict(minimal_payload()).deployment.backend == "threads"
+        payload = minimal_payload()
+        payload["deployment"]["backend"] = "processes"
+        assert spec_from_dict(payload).deployment.backend == "processes"
+
+    def test_unknown_backend_rejected(self):
+        payload = minimal_payload()
+        payload["deployment"]["backend"] = "procesess"  # the classic typo
+        with pytest.raises(ValueError, match="deployment.backend"):
+            spec_from_dict(payload)
+
+    def test_backend_survives_the_round_trip(self):
+        payload = minimal_payload()
+        payload["deployment"]["backend"] = "processes"
+        assert spec_to_dict(spec_from_dict(payload))["deployment"]["backend"] == "processes"
+
 
 class TestRoundTrip:
     def test_save_load_round_trip(self, tmp_path):

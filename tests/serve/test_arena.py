@@ -1,0 +1,212 @@
+"""Model-arena tests: flatten/map round-trip, zero-copy guarantees, loaders.
+
+The arena is the process backend's shared-memory substrate, so the tests
+pin the physical properties — read-only views whose base chain reaches one
+``np.memmap`` — not just value equality.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.registry import fit_baseline
+from repro.core.checkpoint import AGENT_FILE, STRUCTURAL_FILE
+from repro.serve import (
+    ModelRegistry,
+    Reasoner,
+    arena_manifest,
+    load_arena_reasoner,
+    open_arena,
+    write_arena,
+)
+from repro.serve.arena import ARENA_FILE, ARENA_MANIFEST_FILE, load_serving_reasoner
+
+
+@pytest.fixture(scope="module")
+def fitted_reasoner(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    tiny_preset = request.getfixturevalue("tiny_preset")
+    return Reasoner(preset=tiny_preset, rng=0).fit(tiny_dataset)
+
+
+@pytest.fixture(scope="module")
+def test_queries(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    return [(t.head, t.relation) for t in tiny_dataset.splits.test[:6]]
+
+
+@pytest.fixture(scope="module")
+def embedding_reasoner(request):
+    tiny_dataset = request.getfixturevalue("tiny_dataset")
+    tiny_preset = request.getfixturevalue("tiny_preset")
+    return fit_baseline("MTRL", tiny_dataset, preset=tiny_preset, rng=0)
+
+
+@pytest.fixture()
+def saved(fitted_reasoner, tmp_path):
+    save_dir = tmp_path / "save"
+    fitted_reasoner.save(save_dir)
+    manifest = write_arena(save_dir)
+    return save_dir, manifest
+
+
+@pytest.fixture()
+def embedding_save(embedding_reasoner, tmp_path):
+    save_dir = tmp_path / "embedding"
+    embedding_reasoner.save(save_dir)
+    return save_dir
+
+
+def _ranking(predictions):
+    return [(p.entity, round(p.score, 10)) for p in predictions]
+
+
+def _memmap_base(view):
+    """Walk a view's base chain down to the np.memmap it aliases."""
+    base = view
+    while isinstance(base, np.ndarray) and not isinstance(base, np.memmap):
+        base = base.base
+    return base
+
+
+def _os_mapping(view):
+    """The terminal object of the base chain: the one OS-level mmap."""
+    base = view
+    while getattr(base, "base", None) is not None:
+        base = base.base
+    return base
+
+
+class TestWriteArena:
+    def test_writes_arena_and_sidecar_manifest(self, saved):
+        save_dir, manifest = saved
+        assert (save_dir / ARENA_FILE).exists()
+        assert (save_dir / ARENA_MANIFEST_FILE).exists()
+        assert manifest["format_version"] == 1
+        assert manifest["dtype"] == "float64"
+        sidecar = json.loads((save_dir / ARENA_MANIFEST_FILE).read_text())
+        assert sidecar == manifest
+
+    def test_manifest_covers_every_archived_tensor(self, saved):
+        save_dir, manifest = saved
+        with np.load(save_dir / STRUCTURAL_FILE) as archive:
+            structural_keys = {f"structural.{key}" for key in archive.files}
+        with np.load(save_dir / AGENT_FILE) as archive:
+            agent_keys = {f"agent.{key}" for key in archive.files}
+        names = set(manifest["tensors"])
+        assert structural_keys <= names
+        assert agent_keys == {name for name in names if name.startswith("agent.")}
+        total = sum(
+            int(np.prod(spec["shape"])) if spec["shape"] else 1
+            for spec in manifest["tensors"].values()
+        )
+        assert total == manifest["total_elements"]
+
+    def test_no_weight_archives_means_no_arena(self, embedding_save):
+        assert write_arena(embedding_save) is None
+        assert arena_manifest(embedding_save) is None
+
+
+class TestOpenArena:
+    def test_round_trips_every_tensor_value(self, saved):
+        save_dir, _ = saved
+        views = open_arena(save_dir)
+        with np.load(save_dir / STRUCTURAL_FILE) as archive:
+            for key in archive.files:
+                name = f"structural.{key}"
+                if name in views:
+                    np.testing.assert_array_equal(views[name], archive[key])
+        with np.load(save_dir / AGENT_FILE) as archive:
+            for key in archive.files:
+                np.testing.assert_array_equal(views[f"agent.{key}"], archive[key])
+
+    def test_views_are_read_only_zero_copy_slices_of_one_mmap(self, saved):
+        save_dir, _ = saved
+        views = open_arena(save_dir)
+        assert views
+        for view in views.values():
+            assert not view.flags.writeable
+            assert not view.flags.owndata
+            assert isinstance(_memmap_base(view), np.memmap)
+        # one shared OS mapping, not one mmap per tensor
+        mappings = {id(_os_mapping(view)) for view in views.values()}
+        assert len(mappings) == 1
+
+    def test_writing_through_a_view_faults(self, saved):
+        save_dir, _ = saved
+        views = open_arena(save_dir)
+        view = views["structural.entity_embeddings"]
+        with pytest.raises((ValueError, RuntimeError)):
+            view[0, 0] = 1.0
+
+    def test_rejects_foreign_format_or_dtype(self, saved):
+        save_dir, manifest = saved
+        with pytest.raises(ValueError, match="format version"):
+            open_arena(save_dir, manifest={**manifest, "format_version": 99})
+        with pytest.raises(ValueError, match="dtype"):
+            open_arena(save_dir, manifest={**manifest, "dtype": "float16"})
+
+    def test_rejects_tensor_overrunning_the_file(self, saved):
+        save_dir, manifest = saved
+        doctored = json.loads(json.dumps(manifest))
+        spec = next(iter(doctored["tensors"].values()))
+        spec["offset"] = doctored["total_elements"]
+        with pytest.raises(ValueError, match="overruns"):
+            open_arena(save_dir, manifest=doctored)
+
+    def test_missing_arena_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no model arena"):
+            open_arena(tmp_path)
+
+
+class TestManifestResolution:
+    def test_publish_embeds_manifest_in_version_json(self, fitted_reasoner, tmp_path):
+        registry = ModelRegistry(tmp_path / "registry")
+        version = registry.publish(fitted_reasoner, name="mmkgr")
+        assert (version.path / ARENA_FILE).exists()
+        assert "arena" in version.manifest
+        assert arena_manifest(version.path) == version.manifest["arena"]
+
+    def test_version_json_manifest_wins_over_sidecar(self, saved):
+        save_dir, manifest = saved
+        embedded = {**manifest, "marker": "from-version-json"}
+        (save_dir / "version.json").write_text(
+            json.dumps({"arena": embedded}), encoding="utf-8"
+        )
+        assert arena_manifest(save_dir)["marker"] == "from-version-json"
+
+    def test_sidecar_fallback_for_plain_saves(self, saved):
+        save_dir, manifest = saved
+        assert arena_manifest(save_dir) == manifest
+
+
+class TestArenaReasoner:
+    def test_predictions_match_the_original(
+        self, fitted_reasoner, saved, test_queries
+    ):
+        save_dir, _ = saved
+        attached = load_arena_reasoner(save_dir)
+        reference = fitted_reasoner.query_batch(test_queries, k=5)
+        got = attached.query_batch(test_queries, k=5)
+        assert [_ranking(ps) for ps in reference] == [_ranking(ps) for ps in got]
+
+    def test_agent_weights_stay_views_into_the_mmap(self, saved):
+        save_dir, _ = saved
+        attached = load_arena_reasoner(save_dir)
+        entity = attached.pipeline.features.entity_embeddings
+        assert not entity.flags.writeable
+        assert isinstance(_memmap_base(entity), np.memmap)
+
+    def test_rejects_non_agent_saves(self, embedding_save):
+        with pytest.raises(ValueError, match="only the agent family"):
+            load_arena_reasoner(embedding_save)
+
+    def test_load_serving_reasoner_reports_attachment(self, saved, embedding_save):
+        save_dir, _ = saved
+        _, attached = load_serving_reasoner(save_dir)
+        assert attached is True
+        _, attached = load_serving_reasoner(embedding_save)
+        assert attached is False
