@@ -169,6 +169,32 @@ def _load_serving_reasoner(checkpoint: str):
     return Reasoner.from_pipeline(load_checkpoint(checkpoint))
 
 
+def _load_graph_reasoner(graph_dir: str):
+    """An untrained demo reasoner over a saved CSR graph directory.
+
+    The graph's adjacency arrays stay memory-mapped; when the directory also
+    holds saved modality matrices they are mapped in as well, otherwise the
+    features are zero-byte broadcast zeros.  Predictions are deterministic
+    per seed but not meaningful — this is the capacity/scale path.
+    """
+    from repro.kg.csr import CSRKnowledgeGraph
+    from repro.kg.multimodal import MODAL_META_FILE, MultiModalKnowledgeGraph
+    from repro.serve.reasoner import reasoner_over_graph
+
+    graph = CSRKnowledgeGraph.load(graph_dir)
+    mkg = None
+    if (Path(graph_dir) / MODAL_META_FILE).exists():
+        mkg = MultiModalKnowledgeGraph.load_modalities(graph_dir, graph)
+    return reasoner_over_graph(graph, mkg=mkg, name=Path(graph_dir).name or "graph")
+
+
+def _resolve_reasoner(args: argparse.Namespace):
+    """Dispatch ``--checkpoint`` (trained) vs ``--graph`` (untrained CSR demo)."""
+    if getattr(args, "graph", None):
+        return _load_graph_reasoner(args.graph)
+    return _load_serving_reasoner(args.checkpoint)
+
+
 def _print_predictions(head: str, relation: str, predictions) -> None:
     rows = [
         [rank, p.entity_name, f"{p.score:.4f}", p.hops, p.render_path()]
@@ -221,7 +247,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     # one-line error + exit 2 treatment; the engine call runs outside the
     # except so a genuine engine bug keeps its traceback.
     try:
-        reasoner = _load_serving_reasoner(args.checkpoint)
+        reasoner = _resolve_reasoner(args)
         if args.k < 1:
             raise ValueError("k must be >= 1")
         spec = resolve_query(
@@ -271,7 +297,7 @@ def cmd_serve_batch(args: argparse.Namespace) -> int:
     from repro.serve.protocol import resolve_query
 
     try:
-        reasoner = _load_serving_reasoner(args.checkpoint)
+        reasoner = _resolve_reasoner(args)
         queries = _read_query_file(args.queries)
         if args.k < 1:
             raise ValueError("k must be >= 1")
@@ -424,6 +450,76 @@ def cmd_serve(args: argparse.Namespace) -> int:
             if stats_stop is not None:
                 stats_stop.set()
     return EXIT_INTERRUPTED if interrupted else 0
+
+
+# ------------------------------------------------------------ graph backends
+def cmd_kg_build(args: argparse.Namespace) -> int:
+    """Convert a named dataset's full graph to a saved CSR directory."""
+    from repro.kg.csr import CSRKnowledgeGraph
+
+    dataset = build_named_dataset(args.name, scale=args.scale, seed=args.seed)
+    csr = CSRKnowledgeGraph.from_graph(dataset.graph)
+    output = csr.save(args.output)
+    dataset.mkg.save_modalities(output)
+    _print_metrics(f"CSR graph — {dataset.config.name}", csr.statistics())
+    print(f"adjacency arrays and modality matrices written to {output}")
+    return 0
+
+
+def cmd_kg_synth(args: argparse.Namespace) -> int:
+    """Generate a seeded scale-free graph and save it as a CSR directory."""
+    from repro.kg.synthetic import (
+        ScaleFreeKGConfig,
+        build_scale_free_mkg,
+        generate_scale_free_graph,
+    )
+
+    try:
+        config = ScaleFreeKGConfig(
+            num_entities=args.entities,
+            num_relations=args.relations,
+            avg_degree=args.avg_degree,
+            degree_exponent=args.degree_exponent,
+            image_coverage=args.image_coverage,
+            text_coverage=args.text_coverage,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        return _input_error(error)
+    if args.features:
+        mkg, graph = build_scale_free_mkg(config)
+    else:
+        mkg, graph = None, generate_scale_free_graph(config)
+    output = graph.save(args.output)
+    if mkg is not None:
+        mkg.save_modalities(output)
+    _print_metrics(f"synthetic scale-free graph — seed {config.seed}", graph.statistics())
+    print(f"CSR graph written to {output}")
+    return 0
+
+
+def cmd_kg_stats(args: argparse.Namespace) -> int:
+    """Statistics of a saved CSR graph (memory-mapped; no full load)."""
+    import numpy as np
+
+    from repro.kg.csr import CSRKnowledgeGraph
+    from repro.kg.synthetic import fit_degree_exponent
+
+    try:
+        graph = CSRKnowledgeGraph.load(args.graph)
+    except _INPUT_ERRORS as error:
+        return _input_error(error)
+    stats = graph.statistics()
+    degrees = np.diff(graph._indptr)
+    try:
+        stats["degree_tail_exponent"] = round(fit_degree_exponent(degrees), 3)
+    except ValueError:
+        pass  # tiny graphs have no tail to fit
+    if args.json:
+        print(json.dumps(stats, indent=2))
+    else:
+        _print_metrics(f"CSR graph {args.graph}", stats)
+    return 0
 
 
 # --------------------------------------------------------------- load testing
@@ -602,6 +698,54 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_dataset_arguments(generate)
     generate.set_defaults(handler=cmd_dataset_generate)
 
+    # kg -----------------------------------------------------------------
+    kg = subparsers.add_parser(
+        "kg", help="build, synthesize and inspect compact CSR graph directories"
+    )
+    kg_sub = kg.add_subparsers(dest="kg_command", required=True)
+
+    kg_build = kg_sub.add_parser(
+        "build", help="convert a named dataset's graph to a memory-mappable CSR directory"
+    )
+    kg_build.add_argument("--name", choices=sorted(DATASET_REGISTRY), default="wn9-img-txt")
+    kg_build.add_argument("--output", required=True, help="output directory")
+    _add_common_dataset_arguments(kg_build)
+    kg_build.set_defaults(handler=cmd_kg_build)
+
+    kg_synth = kg_sub.add_parser(
+        "synth", help="generate a seeded scale-free graph (tested to 10^6 entities)"
+    )
+    kg_synth.add_argument("--entities", type=int, default=100_000, help="entity count (default 100k)")
+    kg_synth.add_argument("--relations", type=int, default=24, help="base relation count (default 24)")
+    kg_synth.add_argument(
+        "--avg-degree", type=float, default=8.0, help="mean forward edges per entity (default 8)"
+    )
+    kg_synth.add_argument(
+        "--degree-exponent", type=float, default=2.2,
+        help="power-law degree tail exponent (default 2.2)",
+    )
+    kg_synth.add_argument(
+        "--image-coverage", type=float, default=0.6,
+        help="fraction of entities with image features (default 0.6)",
+    )
+    kg_synth.add_argument(
+        "--text-coverage", type=float, default=0.9,
+        help="fraction of entities with text features (default 0.9)",
+    )
+    kg_synth.add_argument(
+        "--features", action="store_true",
+        help="also generate and save modality feature matrices "
+        "(float32; adds entities x dim x 8 bytes on disk)",
+    )
+    kg_synth.add_argument("--seed", type=int, default=7, help="random seed (default 7)")
+    kg_synth.add_argument("--output", required=True, help="output directory")
+    kg_synth.set_defaults(handler=cmd_kg_synth)
+
+    kg_stats = kg_sub.add_parser("stats", help="statistics of a saved CSR graph directory")
+    kg_stats.add_argument("--graph", required=True, help="CSR graph directory")
+    kg_stats.add_argument("--json", action="store_true", help="print as JSON")
+    kg_stats.set_defaults(handler=cmd_kg_stats)
+
     # train ----------------------------------------------------------------
     train = subparsers.add_parser("train", help="train MMKGR or an ablation variant")
     train.add_argument("--dataset", choices=sorted(DATASET_REGISTRY), default="wn9-img-txt")
@@ -635,7 +779,15 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser(
         "query", help="answer one (head, relation, ?) query with a trained reasoner"
     )
-    query.add_argument("--checkpoint", required=True, help="saved reasoner or checkpoint directory")
+    query_source = query.add_mutually_exclusive_group(required=True)
+    query_source.add_argument(
+        "--checkpoint", help="saved reasoner or checkpoint directory"
+    )
+    query_source.add_argument(
+        "--graph",
+        help="saved CSR graph directory: beam-search it with an untrained "
+        "seeded agent (capacity/scale demos, not meaningful predictions)",
+    )
     query.add_argument("--head", required=True, help="head entity name or integer id")
     query.add_argument("--relation", required=True, help="relation name or integer id")
     query.add_argument("-k", type=int, default=10, help="number of ranked answers (default 10)")
@@ -646,7 +798,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_batch = subparsers.add_parser(
         "serve-batch", help="answer a file of queries with one batched beam search"
     )
-    serve_batch.add_argument("--checkpoint", required=True)
+    serve_batch_source = serve_batch.add_mutually_exclusive_group(required=True)
+    serve_batch_source.add_argument("--checkpoint")
+    serve_batch_source.add_argument(
+        "--graph",
+        help="saved CSR graph directory: beam-search it with an untrained "
+        "seeded agent (capacity/scale demos, not meaningful predictions)",
+    )
     serve_batch.add_argument(
         "--queries",
         required=True,

@@ -95,6 +95,37 @@ class MMKGRPipeline:
         self._transe: Optional[TransE] = None
         self._shaper = None
 
+    @classmethod
+    def from_components(
+        cls,
+        dataset,
+        agent: MMKGRAgent,
+        environment: MKGEnvironment,
+        features: FeatureStore,
+        preset: Optional[ExperimentPreset] = None,
+        modalities: Optional[ModalityConfig] = None,
+        rng: SeedLike = None,
+    ) -> "MMKGRPipeline":
+        """Assemble a pipeline around already-built components, skipping training.
+
+        Used by the scale-demo serving path (:func:`repro.serve.reasoner.
+        reasoner_over_graph`): the agent keeps its initialization weights and
+        the dataset may be a bare :class:`~repro.kg.datasets.GraphOnlyDataset`
+        with no splits — such a pipeline can serve queries but not train.
+        """
+        pipeline = cls(
+            dataset,
+            preset=preset,
+            modalities=modalities or getattr(features, "modalities", None),
+            reward_scheme="zero_one",
+            shaping_scorer="none",
+            rng=rng,
+        )
+        pipeline.features = features
+        pipeline.environment = environment
+        pipeline.agent = agent
+        return pipeline
+
     # ----------------------------------------------------------------- stages
     def pretrain_structure(self, verbose: bool = False) -> TransE:
         """Stage 1: TransE structural embeddings on the training graph."""

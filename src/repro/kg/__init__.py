@@ -1,23 +1,46 @@
 """Knowledge-graph substrate: vocabularies, graphs, multi-modal graphs, datasets."""
 
-from repro.kg.vocab import Vocabulary
-from repro.kg.graph import KnowledgeGraph, Triple, inverse_relation_name, is_inverse_relation
+from repro.kg.vocab import RangeVocabulary, Vocabulary
+from repro.kg.graph import (
+    KnowledgeGraph,
+    Triple,
+    enumerate_paths,
+    inverse_relation_name,
+    is_inverse_relation,
+)
+from repro.kg.csr import CSRKnowledgeGraph, load_csr_graph
 from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
 from repro.kg.splits import DatasetSplits, split_triples
 from repro.kg.datasets import (
     DATASET_REGISTRY,
     DatasetStatistics,
+    GraphOnlyDataset,
     SyntheticMKGConfig,
     build_dataset,
     fb_img_txt_config,
     wn9_img_txt_config,
+)
+from repro.kg.synthetic import (
+    ScaleFreeKGConfig,
+    build_scale_free_mkg,
+    fit_degree_exponent,
+    generate_scale_free_graph,
 )
 from repro.kg.sampling import NegativeSampler
 from repro.kg.io import read_triples_tsv, write_triples_tsv
 
 __all__ = [
     "Vocabulary",
+    "RangeVocabulary",
     "KnowledgeGraph",
+    "CSRKnowledgeGraph",
+    "load_csr_graph",
+    "enumerate_paths",
+    "GraphOnlyDataset",
+    "ScaleFreeKGConfig",
+    "generate_scale_free_graph",
+    "build_scale_free_mkg",
+    "fit_degree_exponent",
     "Triple",
     "inverse_relation_name",
     "is_inverse_relation",

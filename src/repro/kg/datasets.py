@@ -125,6 +125,40 @@ class MKGDataset:
         return self.splits.train_graph
 
 
+@dataclass
+class GraphOnlyConfig:
+    """Minimal config carried by :class:`GraphOnlyDataset` (name only)."""
+
+    name: str = "graph-only"
+
+
+@dataclass
+class GraphOnlyDataset:
+    """Dataset shim for serving over a bare graph (no splits, no training data).
+
+    Provides just enough of the :class:`MKGDataset` surface (``graph``,
+    ``train_graph``, ``mkg``, ``config.name``) for the serving stack to run
+    beam search over a standalone — typically CSR, typically synthetic —
+    graph.  There is nothing to train on: pipelines built over this shim
+    serve queries only.
+    """
+
+    mkg: MultiModalKnowledgeGraph
+    config: GraphOnlyConfig = field(default_factory=GraphOnlyConfig)
+
+    @classmethod
+    def wrap(cls, mkg: MultiModalKnowledgeGraph, name: str = "graph-only") -> "GraphOnlyDataset":
+        return cls(mkg=mkg, config=GraphOnlyConfig(name=name))
+
+    @property
+    def graph(self) -> KnowledgeGraph:
+        return self.mkg.graph
+
+    @property
+    def train_graph(self) -> KnowledgeGraph:
+        return self.mkg.graph
+
+
 def wn9_img_txt_config(scale: float = 1.0, seed: int = 13) -> SyntheticMKGConfig:
     """Scaled-down analogue of WN9-IMG-TXT (6,555 entities, 9 relations).
 

@@ -50,7 +50,25 @@ class Triple:
 
 
 class KnowledgeGraph:
-    """Structural knowledge graph with id vocabularies and adjacency indexes."""
+    """Structural knowledge graph with id vocabularies and adjacency indexes.
+
+    The default, fully mutable backend: adjacency lives in Python dicts and
+    lists, which is convenient for incremental construction and small
+    datasets.  For large (10^5-10^6 entity) graphs, build once and convert to
+    the compact read-only :class:`repro.kg.csr.CSRKnowledgeGraph`, which
+    serves the same read interface from memory-mappable int32 arrays.
+
+    >>> graph = KnowledgeGraph()
+    >>> _ = graph.add_triple_by_name("alice", "knows", "bob")
+    >>> _ = graph.add_triple_by_name("alice", "knows", "carol")
+    >>> graph.num_entities, graph.num_triples
+    (3, 2)
+    >>> graph.contains(graph.entity_id("alice"), graph.relation_id("knows"),
+    ...                graph.entity_id("bob"))
+    True
+    >>> graph.neighbors(graph.entity_id("alice"))  # sorted, deterministic
+    (1, 2)
+    """
 
     def __init__(
         self,
@@ -153,9 +171,14 @@ class KnowledgeGraph:
         """Outgoing ``(relation, neighbour)`` pairs: the RL action space at ``entity``."""
         return list(self._outgoing.get(entity, []))
 
-    def neighbors(self, entity: int) -> Set[int]:
-        """The neighbour-entity set ``N_t`` used in the MDP state (Section IV-C)."""
-        return {tail for _, tail in self._outgoing.get(entity, [])}
+    def neighbors(self, entity: int) -> Tuple[int, ...]:
+        """The neighbour entities ``N_t`` used in the MDP state (Section IV-C).
+
+        Returned as an id-sorted tuple of distinct neighbours: a set here
+        would make downstream iteration order depend on hash randomization,
+        and consumers (entity descriptions, state featurization) iterate it.
+        """
+        return tuple(sorted({tail for _, tail in self._outgoing.get(entity, [])}))
 
     def degree(self, entity: int) -> int:
         return len(self._outgoing.get(entity, []))
@@ -216,21 +239,32 @@ class KnowledgeGraph:
         that the synthetic datasets contain compositional paths), not part of
         the reasoning algorithm itself.
         """
-        if max_hops < 1:
-            raise ValueError(f"max_hops must be >= 1, got {max_hops}")
-        results: List[List[Tuple[int, int]]] = []
-        frontier: List[Tuple[int, List[Tuple[int, int]]]] = [(source, [])]
-        for _ in range(max_hops):
-            next_frontier: List[Tuple[int, List[Tuple[int, int]]]] = []
-            for entity, path in frontier:
-                for relation, neighbour in self._outgoing.get(entity, []):
-                    new_path = path + [(relation, neighbour)]
-                    if neighbour == target:
-                        results.append(new_path)
-                        if len(results) >= limit:
-                            return results
-                    next_frontier.append((neighbour, new_path))
-            frontier = next_frontier
-            if not frontier:
-                break
-        return results
+        return enumerate_paths(self, source, target, max_hops, limit)
+
+
+def enumerate_paths(
+    graph, source: int, target: int, max_hops: int, limit: int = 100
+) -> List[List[Tuple[int, int]]]:
+    """Breadth-first path enumeration over any graph backend.
+
+    Works against the read interface (``outgoing_edges``) only, so the dict
+    and CSR backends share one implementation.
+    """
+    if max_hops < 1:
+        raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    results: List[List[Tuple[int, int]]] = []
+    frontier: List[Tuple[int, List[Tuple[int, int]]]] = [(source, [])]
+    for _ in range(max_hops):
+        next_frontier: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for entity, path in frontier:
+            for relation, neighbour in graph.outgoing_edges(entity):
+                new_path = path + [(relation, neighbour)]
+                if neighbour == target:
+                    results.append(new_path)
+                    if len(results) >= limit:
+                        return results
+                next_frontier.append((neighbour, new_path))
+        frontier = next_frontier
+        if not frontier:
+            break
+    return results

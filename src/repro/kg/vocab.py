@@ -67,3 +67,82 @@ class Vocabulary:
         if [idx for _, idx in ordered] != expected:
             raise ValueError("vocabulary ids must be contiguous and start at 0")
         return cls(symbol for symbol, _ in ordered)
+
+
+class RangeVocabulary:
+    """An implicit vocabulary mapping ``f"{prefix}{i}"`` to ``i`` for ``i < size``.
+
+    A million-entity synthetic graph has no meaningful entity names, and a
+    :class:`Vocabulary` storing a million interned strings plus a dict over
+    them costs hundreds of megabytes for nothing.  This class computes the
+    mapping on demand in O(1) memory; it is read-only by construction (the
+    id space is the range itself).
+
+    >>> vocab = RangeVocabulary("e", 1_000_000)
+    >>> vocab.symbol(41)
+    'e41'
+    >>> vocab.index("e41")
+    41
+    >>> "e999999" in vocab, "e1000000" in vocab
+    (True, False)
+    >>> len(vocab)
+    1000000
+    """
+
+    def __init__(self, prefix: str, size: int):
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if not prefix:
+            raise ValueError("prefix must be a non-empty string")
+        self.prefix = prefix
+        self.size = size
+
+    def _parse(self, symbol: str) -> Optional[int]:
+        if not isinstance(symbol, str) or not symbol.startswith(self.prefix):
+            return None
+        digits = symbol[len(self.prefix):]
+        if not digits.isdigit():
+            return None
+        index = int(digits)
+        # Reject non-canonical spellings ("e007") so symbol(index(s)) == s.
+        if str(index) != digits or index >= self.size:
+            return None
+        return index
+
+    def add(self, symbol: str) -> int:
+        """Only re-adding an existing symbol is allowed (the range is fixed)."""
+        index = self._parse(symbol)
+        if index is None:
+            raise ValueError(
+                f"RangeVocabulary({self.prefix!r}, {self.size}) is read-only; "
+                f"cannot add {symbol!r}"
+            )
+        return index
+
+    def index(self, symbol: str) -> int:
+        parsed = self._parse(symbol)
+        if parsed is None:
+            raise KeyError(f"unknown symbol: {symbol!r}")
+        return parsed
+
+    def symbol(self, index: int) -> str:
+        if not 0 <= index < self.size:
+            raise IndexError(f"index {index} out of range for vocabulary of size {self.size}")
+        return f"{self.prefix}{index}"
+
+    def __contains__(self, symbol: str) -> bool:
+        return self._parse(symbol) is not None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[str]:
+        return (f"{self.prefix}{i}" for i in range(self.size))
+
+    def symbols(self) -> List[str]:
+        """All symbols in id order — materializes the whole range; avoid at scale."""
+        return list(self)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Explicit ``{symbol: id}`` mapping — materializes the whole range."""
+        return {f"{self.prefix}{i}": i for i in range(self.size)}

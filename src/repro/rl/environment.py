@@ -51,7 +51,8 @@ class EpisodeState:
     # Populated by the environment so ``hops`` can ignore self-loops.
     _no_op_ids: Set[int] = field(default_factory=set, repr=False)
 
-    def neighbors(self, graph: KnowledgeGraph) -> Set[int]:
+    def neighbors(self, graph: KnowledgeGraph) -> Tuple[int, ...]:
+        """The neighbourhood ``N_t``, id-sorted (deterministic across runs)."""
         return graph.neighbors(self.current_entity)
 
     def visited_entities(self) -> List[int]:
@@ -107,8 +108,9 @@ class MKGEnvironment:
                 if not (relation == query.relation and entity == query.answer)
             ]
         if self.max_actions is not None and len(actions) > self.max_actions:
-            # Keep a deterministic prefix; the graph stores edges in insertion
-            # order so this is stable across runs.
+            # Keep a deterministic prefix: each backend returns edges in a
+            # stable order (insertion order for the dict graph, sorted by
+            # (relation, tail) for CSR), so truncation is stable across runs.
             actions = actions[: self.max_actions]
         no_op = self.graph.no_op_relation_id
         if no_op is not None:

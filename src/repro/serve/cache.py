@@ -11,71 +11,18 @@ constructing a fresh one.
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Callable, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.rl.environment import EpisodeState, MKGEnvironment, Query
 
-K = TypeVar("K", bound=Hashable)
-V = TypeVar("V")
+# The generic structure moved to repro.utils.lru so the CSR graph backend can
+# bound its adjacency-row materialization with the same cache; re-exported
+# here because serving code has always imported it from this module.
+from repro.utils.lru import LRUCache
 
-
-class LRUCache(Generic[K, V]):
-    """A small fixed-capacity least-recently-used mapping with hit statistics.
-
-    Thread-safe: the serving daemon's worker pool shares one action-space
-    cache across every reasoner replica, so lookups, insertions, and the
-    recency reordering all happen under a lock.  A miss computes inside the
-    lock, which also keeps concurrent workers from duplicating the same
-    action-space construction.
-    """
-
-    def __init__(self, maxsize: int = 4096):
-        if maxsize < 1:
-            raise ValueError("maxsize must be >= 1")
-        self.maxsize = maxsize
-        self.hits = 0
-        self.misses = 0
-        self._store: "OrderedDict[K, V]" = OrderedDict()
-        self._lock = threading.RLock()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._store)
-
-    def __contains__(self, key: K) -> bool:
-        with self._lock:
-            return key in self._store
-
-    def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
-        """Return the cached value for ``key``, computing and inserting on miss."""
-        with self._lock:
-            try:
-                value = self._store[key]
-            except KeyError:
-                self.misses += 1
-                value = compute()
-                self._store[key] = value
-                if len(self._store) > self.maxsize:
-                    self._store.popitem(last=False)
-                return value
-            self.hits += 1
-            self._store.move_to_end(key)
-            return value
-
-    def clear(self) -> None:
-        with self._lock:
-            self._store.clear()
-            self.hits = 0
-            self.misses = 0
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+__all__ = ["ActionSpaceCache", "LRUCache"]
 
 
 class ActionSpaceCache:

@@ -49,6 +49,24 @@ class ServeConfig:
     :class:`~repro.serve.server.ReasoningServer` directly.  The
     ``heartbeat_interval_s`` / ``request_timeout_s`` / ``start_method``
     block only applies to ``backend="processes"``.
+
+    The dataclass is frozen; derive deployment variants with
+    :meth:`with_overrides`, which re-validates and rejects typo'd fields
+    instead of silently ignoring them:
+
+    >>> config = ServeConfig(max_batch_size=8, max_wait_ms=2.0)
+    >>> config.with_overrides(backend="processes", workers=4).workers
+    4
+    >>> config.workers  # the original is untouched
+    1
+    >>> config.with_overrides(wrokers=4)
+    Traceback (most recent call last):
+        ...
+    ValueError: unknown ServeConfig field(s): ['wrokers']
+    >>> ServeConfig(backend="fibers")
+    Traceback (most recent call last):
+        ...
+    ValueError: backend must be one of ('threads', 'processes'), got 'fibers'
     """
 
     backend: str = "threads"

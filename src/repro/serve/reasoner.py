@@ -431,6 +431,74 @@ def _restore_specialisations(pipeline: MMKGRPipeline, manifest: dict) -> None:
         )
 
 
+def reasoner_over_graph(
+    graph,
+    mkg=None,
+    preset=None,
+    name: str = "graph-demo",
+    beam_width: Optional[int] = None,
+    cache_size: int = 4096,
+    rng: SeedLike = None,
+) -> Reasoner:
+    """An untrained, seeded :class:`Reasoner` serving beam search over a bare graph.
+
+    The million-entity capacity path: no TransE pre-training and no REINFORCE
+    — the agent keeps its (seed-deterministic) initialization weights, so
+    predictions are reproducible but not meaningful.  What this exercises is
+    everything *around* the model at full fidelity: CSR adjacency expansion,
+    the action-space LRU caches, and the lockstep beam-search engine — which
+    is exactly what capacity benchmarks and `mmkgr query --graph` need.
+
+    ``graph`` is any graph backend (typically a memory-mapped
+    :class:`~repro.kg.csr.CSRKnowledgeGraph`).  When no ``mkg`` is given, the
+    graph is wrapped with stride-0 broadcast zero feature matrices, so the
+    multimodal layer adds nothing to resident memory.
+    """
+    from repro.core.config import fast_preset
+    from repro.core.model import MMKGRAgent
+    from repro.features.extraction import FeatureStore
+    from repro.kg.datasets import GraphOnlyDataset
+    from repro.kg.multimodal import MultiModalKnowledgeGraph
+    from repro.rl.environment import MKGEnvironment
+    from repro.utils.rng import new_rng
+
+    preset = preset or fast_preset()
+    if mkg is None:
+        zero = np.zeros((), dtype=np.float32)
+        mkg = MultiModalKnowledgeGraph.from_matrices(
+            graph,
+            image_matrix=np.broadcast_to(zero, (graph.num_entities, 8)),
+            text_matrix=np.broadcast_to(zero, (graph.num_entities, 8)),
+            name=name,
+        )
+    rng = new_rng(preset.model.seed if rng is None else rng)
+    # ModalityConfig.full() keeps FeatureStore returning the (broadcast,
+    # zero-byte) backing matrices directly instead of materializing
+    # np.zeros_like copies for disabled modalities.
+    features = FeatureStore(
+        mkg,
+        structural_dim=preset.model.structural_dim,
+        modalities=ModalityConfig.full(),
+        rng=rng,
+    )
+    environment = MKGEnvironment(
+        mkg.graph,
+        max_steps=preset.model.max_steps,
+        max_actions=preset.model.max_actions,
+    )
+    agent = MMKGRAgent(features, config=preset.model, rng=rng)
+    pipeline = MMKGRPipeline.from_components(
+        GraphOnlyDataset.wrap(mkg, name=name),
+        agent=agent,
+        environment=environment,
+        features=features,
+        preset=preset,
+    )
+    return Reasoner.from_pipeline(
+        pipeline, name=name, beam_width=beam_width, cache_size=cache_size
+    )
+
+
 class EmbeddingReasoner:
     """Queryable wrapper for single-hop models scoring every tail in closed form.
 
@@ -605,7 +673,18 @@ def _read_manifest(directory: Path) -> dict:
 
 
 def load_reasoner(path: PathLike, rng: SeedLike = None):
-    """Restore any saved reasoner, dispatching on the stored ``reasoner_type``."""
+    """Restore any saved reasoner, dispatching on the stored ``reasoner_type``.
+
+    Every model — MMKGR and the baselines — saves through the same protocol,
+    so one loader restores them all: ``load_reasoner("checkpoints/mmkgr")``
+    returns a fitted object with ``query`` / ``query_batch`` / ``save``.
+    A directory without a reasoner manifest is rejected up front:
+
+    >>> load_reasoner("/no/such/checkpoint")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    FileNotFoundError: ...reasoner.json does not exist; not a saved reasoner directory
+    """
     directory = Path(path)
     manifest = _read_manifest(directory)
     kind = manifest.get("reasoner_type")

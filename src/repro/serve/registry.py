@@ -107,6 +107,22 @@ class ModelRegistry:
     The registry is append-only for versions and atomic for aliases; one
     registry can back any number of serving daemons, which resolve
     ``name@alias`` references at (re)load time.
+
+    Opening a registry creates its root; a fresh one lists no models and
+    rejects references to models it does not hold:
+
+    >>> import tempfile
+    >>> registry = ModelRegistry(tempfile.mkdtemp())
+    >>> registry.list_models()
+    []
+    >>> registry.resolve("mmkgr@prod")  # doctest: +ELLIPSIS
+    Traceback (most recent call last):
+        ...
+    KeyError: "no model named 'mmkgr' in ... (known: (none))"
+
+    ``publish()`` then writes immutable ``<root>/<name>/<version>/``
+    directories and ``promote()`` flips mutable aliases onto them; see
+    ``docs/OPERATIONS.md`` for the full publish → promote → serve loop.
     """
 
     def __init__(self, root: PathLike):

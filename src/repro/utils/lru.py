@@ -1,0 +1,73 @@
+"""A small thread-safe least-recently-used cache.
+
+Two hot paths share this structure: the serving layer's per-reasoner
+action-space/matrix caches (:mod:`repro.serve.cache`) and the CSR graph
+backend's lazily materialized adjacency rows (:mod:`repro.kg.csr`).  Both
+need the same thing — a bounded mapping whose misses compute under the lock
+so concurrent workers never duplicate the same construction — so the
+structure lives here, below both layers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache(Generic[K, V]):
+    """A fixed-capacity least-recently-used mapping with hit statistics.
+
+    Thread-safe: lookups, insertions, and the recency reordering all happen
+    under a lock.  A miss computes inside the lock, which also keeps
+    concurrent callers from duplicating the same computation.
+    """
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def get_or_compute(self, key: K, compute: Callable[[], V]) -> V:
+        """Return the cached value for ``key``, computing and inserting on miss."""
+        with self._lock:
+            try:
+                value = self._store[key]
+            except KeyError:
+                self.misses += 1
+                value = compute()
+                self._store[key] = value
+                if len(self._store) > self.maxsize:
+                    self._store.popitem(last=False)
+                return value
+            self.hits += 1
+            self._store.move_to_end(key)
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -434,6 +434,103 @@ class TestQueryCommands:
         assert "reasoning path" in captured
 
 
+class TestKgCommands:
+    @pytest.fixture(scope="class")
+    def synth_graph_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("graphs") / "synth"
+        exit_code = main(
+            [
+                "kg", "synth",
+                "--entities", "800",
+                "--relations", "4",
+                "--avg-degree", "5",
+                "--features",
+                "--image-coverage", "0.5",
+                "--seed", "5",
+                "--output", str(directory),
+            ]
+        )
+        assert exit_code == 0
+        return str(directory)
+
+    def test_synth_writes_csr_directory(self, synth_graph_dir):
+        from pathlib import Path
+
+        names = {p.name for p in Path(synth_graph_dir).iterdir()}
+        assert {"csr_meta.json", "indptr.npy", "adj_tails.npy", "triples.npy"} <= names
+        assert "modal_meta.json" in names  # --features
+        assert "entities.json" not in names  # RangeVocabulary stays implicit
+
+    def test_stats_json(self, synth_graph_dir, capsys):
+        exit_code = main(["kg", "stats", "--graph", synth_graph_dir, "--json"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        payload = json.loads(captured)
+        assert payload["entities"] == 800
+        assert payload["relations"] == 2 * 4 + 1
+        assert payload["isolated_entities"] == 0
+
+    def test_build_from_named_dataset(self, tmp_path, capsys):
+        directory = tmp_path / "built"
+        exit_code = main(
+            ["kg", "build", "--name", "wn9-img-txt", "--scale", "0.2",
+             "--output", str(directory)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "written to" in captured
+        assert (directory / "csr_meta.json").exists()
+        assert (directory / "modal_meta.json").exists()
+
+    def test_query_graph(self, synth_graph_dir, capsys):
+        exit_code = main(
+            ["query", "--graph", synth_graph_dir, "--head", "e7",
+             "--relation", "rel_000", "-k", "3"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "reasoning path" in captured
+
+    def test_serve_batch_graph(self, synth_graph_dir, tmp_path, capsys):
+        queries = tmp_path / "queries.tsv"
+        queries.write_text("e7\trel_000\ne11\trel_001\n", encoding="utf-8")
+        output = tmp_path / "answers.json"
+        exit_code = main(
+            ["serve-batch", "--graph", synth_graph_dir, "--queries", str(queries),
+             "-k", "2", "--output", str(output)]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "answered 2 queries" in captured
+        payload = json.loads(output.read_text())
+        assert len(payload) == 2 and len(payload[0]["predictions"]) == 2
+
+    def test_synth_rejects_bad_exponent(self, tmp_path, capsys):
+        exit_code = main(
+            ["kg", "synth", "--entities", "100", "--degree-exponent", "1.2",
+             "--output", str(tmp_path / "bad")]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_query_missing_graph_dir(self, tmp_path, capsys):
+        exit_code = main(
+            ["query", "--graph", str(tmp_path / "nope"), "--head", "e1",
+             "--relation", "rel_000"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error:" in captured.err
+
+    def test_query_rejects_graph_and_checkpoint_together(self, synth_graph_dir):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["query", "--graph", synth_graph_dir, "--checkpoint", "x",
+                 "--head", "0", "--relation", "1"]
+            )
+
+
 class TestLoadtestCommand:
     @staticmethod
     def _spec_payload(**slo) -> dict:

@@ -73,6 +73,20 @@ class TestAdjacency:
         names = {tiny_graph.entities.symbol(n) for n in tiny_graph.neighbors(alice)}
         assert {"acme", "berlin", "bob"} <= names
 
+    def test_neighbors_deterministic_sorted_tuple(self, tiny_graph):
+        """Regression: neighbors() used to return a set, whose iteration order
+        varies under hash randomization; consumers iterating it (entity
+        descriptions, state featurization) then differed across processes."""
+        alice = tiny_graph.entity_id("alice")
+        neighbors = tiny_graph.neighbors(alice)
+        assert isinstance(neighbors, tuple)
+        assert list(neighbors) == sorted(neighbors)
+        assert len(set(neighbors)) == len(neighbors)
+        assert tiny_graph.neighbors(alice) == neighbors
+
+    def test_neighbors_unknown_entity_is_empty(self, tiny_graph):
+        assert tiny_graph.neighbors(10**6) == ()
+
     def test_degree_matches_outgoing(self, tiny_graph):
         for entity in range(tiny_graph.num_entities):
             assert tiny_graph.degree(entity) == len(tiny_graph.outgoing_edges(entity))

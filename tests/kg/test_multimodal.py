@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.kg.graph import KnowledgeGraph
 from repro.kg.multimodal import EntityModalities, MultiModalKnowledgeGraph
 
 
@@ -87,3 +86,92 @@ class TestMultiModalKnowledgeGraph:
         stats = small_mkg.statistics()
         assert stats["entities"] == small_mkg.num_entities
         assert stats["modal_coverage"] == pytest.approx(1.0)
+
+
+class TestMatrixBacked:
+    @pytest.fixture()
+    def matrix_mkg(self, tiny_graph) -> MultiModalKnowledgeGraph:
+        rng = np.random.default_rng(1)
+        n = tiny_graph.num_entities
+        mask = np.zeros(n, dtype=bool)
+        mask[: n // 2] = True
+        image = rng.normal(size=(n, 4)).astype(np.float32)
+        text = rng.normal(size=(n, 3)).astype(np.float32)
+        image[~mask] = 0.0
+        text[~mask] = 0.0
+        return MultiModalKnowledgeGraph.from_matrices(
+            tiny_graph, image, text, coverage_mask=mask, name="matrix"
+        )
+
+    def test_matrices_returned_without_copy(self, matrix_mkg):
+        assert matrix_mkg.matrix_backed
+        assert matrix_mkg.image_matrix() is matrix_mkg.image_matrix()
+        assert matrix_mkg.image_matrix().dtype == np.float32
+
+    def test_row_lookup_and_coverage(self, matrix_mkg, tiny_graph):
+        n = tiny_graph.num_entities
+        assert matrix_mkg.has_modalities(0)
+        assert not matrix_mkg.has_modalities(n - 1)
+        assert not matrix_mkg.has_modalities(n + 5)
+        np.testing.assert_allclose(
+            matrix_mkg.image_feature(1), matrix_mkg.image_matrix()[1]
+        )
+        assert matrix_mkg.coverage() == pytest.approx((n // 2) / n)
+        with pytest.raises(KeyError):
+            matrix_mkg.modalities(n - 1)
+        assert matrix_mkg.modalities(0).image.shape == (4,)
+
+    def test_read_only(self, matrix_mkg):
+        with pytest.raises(TypeError):
+            matrix_mkg.attach_modalities(
+                0, EntityModalities(image=np.zeros(4), text=np.zeros(3))
+            )
+
+    def test_shape_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            MultiModalKnowledgeGraph.from_matrices(
+                tiny_graph, np.zeros((3, 4)), np.zeros((tiny_graph.num_entities, 3))
+            )
+        with pytest.raises(ValueError):
+            MultiModalKnowledgeGraph.from_matrices(
+                tiny_graph,
+                np.zeros((tiny_graph.num_entities, 4)),
+                np.zeros((tiny_graph.num_entities, 3)),
+                coverage_mask=np.ones(3, dtype=bool),
+            )
+
+    def test_broadcast_zero_matrices(self, tiny_graph):
+        n = tiny_graph.num_entities
+        zero = np.zeros((), dtype=np.float32)
+        mkg = MultiModalKnowledgeGraph.from_matrices(
+            tiny_graph,
+            np.broadcast_to(zero, (n, 8)),
+            np.broadcast_to(zero, (n, 8)),
+        )
+        assert mkg.image_matrix().shape == (n, 8)
+        # Stride-0 broadcast: the matrix occupies no per-row memory.
+        assert mkg.image_matrix().strides == (0, 0)
+        assert mkg.coverage() == 1.0
+
+    def test_save_load_roundtrip(self, matrix_mkg, tiny_graph, tmp_path):
+        matrix_mkg.save_modalities(tmp_path)
+        loaded = MultiModalKnowledgeGraph.load_modalities(tmp_path, tiny_graph)
+        assert loaded.matrix_backed
+        assert isinstance(loaded.image_matrix(), np.memmap)
+        np.testing.assert_allclose(loaded.image_matrix(), matrix_mkg.image_matrix())
+        assert loaded.coverage() == pytest.approx(matrix_mkg.coverage())
+        assert loaded.name == "matrix"
+
+    def test_dict_backed_save_load(self, small_mkg, tiny_graph, tmp_path):
+        small_mkg.save_modalities(tmp_path)
+        loaded = MultiModalKnowledgeGraph.load_modalities(tmp_path, tiny_graph)
+        np.testing.assert_allclose(
+            loaded.image_matrix(), small_mkg.image_matrix(), rtol=1e-6
+        )
+        assert loaded.coverage() == 1.0
+        # Full coverage: no mask file is written.
+        assert not (tmp_path / "modal_coverage.npy").exists()
+
+    def test_load_missing_directory_raises(self, tiny_graph, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            MultiModalKnowledgeGraph.load_modalities(tmp_path / "nope", tiny_graph)

@@ -1,0 +1,159 @@
+"""Property tests for the scale-free synthetic generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kg.graph import NO_OP_RELATION, inverse_relation_name
+from repro.kg.synthetic import (
+    ScaleFreeKGConfig,
+    build_scale_free_mkg,
+    fit_degree_exponent,
+    forward_relation_id,
+    generate_scale_free_graph,
+    relation_vocabulary,
+)
+from repro.kg.vocab import RangeVocabulary
+
+
+CONFIG = ScaleFreeKGConfig(num_entities=5000, num_relations=10, avg_degree=6.0, seed=17)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generate_scale_free_graph(CONFIG)
+
+
+class TestDeterminism:
+    def test_seeded_replay_is_identical(self, graph):
+        replay = generate_scale_free_graph(CONFIG)
+        assert np.array_equal(replay.triples_array(), graph.triples_array())
+        assert np.array_equal(replay._indptr, graph._indptr)
+        assert np.array_equal(replay._adj_tails, graph._adj_tails)
+        assert np.array_equal(replay._adj_relations, graph._adj_relations)
+
+    def test_different_seed_differs(self, graph):
+        other = generate_scale_free_graph(
+            ScaleFreeKGConfig(
+                num_entities=CONFIG.num_entities,
+                num_relations=CONFIG.num_relations,
+                avg_degree=CONFIG.avg_degree,
+                seed=CONFIG.seed + 1,
+            )
+        )
+        assert not np.array_equal(other.triples_array(), graph.triples_array())
+
+    def test_mkg_features_replay_identical(self):
+        config = ScaleFreeKGConfig(num_entities=500, num_relations=4, seed=3)
+        mkg_a, _ = build_scale_free_mkg(config)
+        mkg_b, _ = build_scale_free_mkg(config)
+        assert np.array_equal(mkg_a.image_matrix(), mkg_b.image_matrix())
+        assert np.array_equal(mkg_a.text_matrix(), mkg_b.text_matrix())
+
+
+class TestStructure:
+    def test_requested_size(self, graph):
+        assert graph.num_entities == CONFIG.num_entities
+        assert graph.num_relations == 2 * CONFIG.num_relations + 1
+        assert isinstance(graph.entities, RangeVocabulary)
+
+    def test_edge_count_near_target(self, graph):
+        # Dedup and self-loop removal shed some draws; hub collisions make
+        # the loss non-trivial but bounded.
+        assert graph.num_triples >= 0.5 * CONFIG.num_forward_edges
+        assert graph.num_triples <= CONFIG.num_forward_edges + CONFIG.num_entities
+
+    def test_no_isolated_entities(self, graph):
+        degrees = np.diff(graph._indptr)
+        assert int((degrees == 0).sum()) == 0
+
+    def test_no_self_loops_in_forward_triples(self, graph):
+        triples = graph.triples_array()
+        assert not np.any(triples[:, 0] == triples[:, 2])
+
+    def test_degree_tail_exponent_within_tolerance(self, graph):
+        degrees = np.diff(graph._indptr)
+        alpha = fit_degree_exponent(degrees)
+        assert CONFIG.degree_exponent - 0.5 <= alpha <= CONFIG.degree_exponent + 0.5
+
+    def test_relation_vocabulary_layout(self):
+        vocab = relation_vocabulary(3)
+        assert vocab.symbol(0) == NO_OP_RELATION
+        for index in range(3):
+            name = vocab.symbol(forward_relation_id(index))
+            assert name == f"rel_{index:03d}"
+            assert vocab.symbol(forward_relation_id(index) + 1) == inverse_relation_name(name)
+
+    def test_relation_frequencies_are_long_tailed(self, graph):
+        counts = graph.relation_frequencies()
+        first = counts[forward_relation_id(0)]
+        last = counts.get(forward_relation_id(CONFIG.num_relations - 1), 0)
+        assert first > last
+
+    def test_inverse_edges_present(self, graph):
+        triples = graph.triples_array()[:50]
+        for head, relation, tail in triples:
+            inverse = graph.inverse_relation_id(int(relation))
+            assert graph.contains(int(tail), inverse, int(head))
+
+
+class TestModalities:
+    @pytest.mark.parametrize("image_coverage,text_coverage", [(0.5, 0.9), (1.0, 1.0), (0.0, 1.0)])
+    def test_coverage_honored(self, image_coverage, text_coverage):
+        config = ScaleFreeKGConfig(
+            num_entities=2000,
+            num_relations=4,
+            image_coverage=image_coverage,
+            text_coverage=text_coverage,
+            seed=5,
+        )
+        mkg, _ = build_scale_free_mkg(config)
+        image = mkg.image_matrix()
+        text = mkg.text_matrix()
+        image_fraction = np.mean(np.any(image != 0.0, axis=1))
+        text_fraction = np.mean(np.any(text != 0.0, axis=1))
+        assert image_fraction == pytest.approx(image_coverage, abs=0.02)
+        assert text_fraction == pytest.approx(text_coverage, abs=0.02)
+
+    def test_combined_coverage_mask(self):
+        config = ScaleFreeKGConfig(
+            num_entities=1000, num_relations=4, image_coverage=0.3, text_coverage=0.4, seed=9
+        )
+        mkg, _ = build_scale_free_mkg(config)
+        # coverage() reports entities with at least one real modality.
+        assert 0.4 <= mkg.coverage() <= 0.7
+        assert mkg.matrix_backed
+
+    def test_modalities_roundtrip_through_save(self, tmp_path):
+        config = ScaleFreeKGConfig(
+            num_entities=300, num_relations=3, image_coverage=0.5, seed=2
+        )
+        mkg, graph = build_scale_free_mkg(config)
+        graph.save(tmp_path / "g")
+        mkg.save_modalities(tmp_path / "g")
+        from repro.kg.csr import CSRKnowledgeGraph
+        from repro.kg.multimodal import MultiModalKnowledgeGraph
+
+        loaded_graph = CSRKnowledgeGraph.load(tmp_path / "g")
+        loaded = MultiModalKnowledgeGraph.load_modalities(tmp_path / "g", loaded_graph)
+        assert np.array_equal(loaded.image_matrix(), mkg.image_matrix())
+        assert loaded.coverage() == pytest.approx(mkg.coverage())
+
+
+class TestValidation:
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleFreeKGConfig(degree_exponent=1.2)
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleFreeKGConfig(image_coverage=1.5)
+
+    def test_bad_degree_rejected(self):
+        with pytest.raises(ValueError):
+            ScaleFreeKGConfig(avg_degree=0.0)
+
+    def test_exponent_fit_needs_data(self):
+        with pytest.raises(ValueError):
+            fit_degree_exponent(np.array([1, 2, 3]))
